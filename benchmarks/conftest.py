@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (see the
+experiment index in DESIGN.md) and *prints the rows it reproduces*, so
+``pytest benchmarks/ --benchmark-only -s`` reads like the paper's
+evaluation section.  Shape assertions (who wins, by roughly what factor)
+are enforced with asserts, so drift fails loudly.
+"""
+
+import pytest
+
+from repro.scenarios.vultr import VultrDeployment
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """One established Vultr deployment shared by all benchmarks."""
+    d = VultrDeployment()
+    d.establish()
+    return d
+
+
+@pytest.fixture(scope="session")
+def quiet_deployment():
+    """Event-free variant for steady-state benchmarks."""
+    d = VultrDeployment(include_events=False)
+    d.establish()
+    return d
+
+
+def emit(text: str) -> None:
+    """Print a reproduction table (visible with ``-s`` / on failure)."""
+    print("\n" + text)

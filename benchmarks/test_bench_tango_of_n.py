@@ -1,0 +1,74 @@
+"""E9 / Section 6 (future work) — from Tango of 2 to Tango of N.
+
+Paper: "We envision Tango of two to be the building block of an open and
+robust wide-area overlay composed of more networks and of more PoPs of
+the same network.  Doing so will expose a larger path diversity to Tango
+participants using RON-like techniques."
+
+The benchmark grows a mesh of N cooperating edges (pairwise discovery on
+synthetic provider/transit topologies) and measures, per N: exposed route
+diversity per pair, and best-route delay improvement over the pair's
+BGP default when one relay hop is allowed.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.scenarios.topologies import build_mesh_scenario
+
+N_RANGE = (2, 3, 4, 5, 6)
+
+
+def run_sweep():
+    rows = []
+    for n in N_RANGE:
+        scenario = build_mesh_scenario(n)
+        mesh = scenario.mesh
+        pair_rows = []
+        for a in scenario.edge_names:
+            for b in scenario.edge_names:
+                if a == b:
+                    continue
+                pair_rows.append(
+                    (
+                        mesh.diversity(a, b, max_relays=0),
+                        mesh.diversity(a, b, max_relays=1),
+                        mesh.diversity_gain(a, b, max_relays=1),
+                    )
+                )
+        direct, relayed, gains = map(np.asarray, zip(*pair_rows))
+        rows.append(
+            {
+                "N": n,
+                "pairs": len(pair_rows),
+                "direct_routes": float(np.mean(direct)),
+                "routes_with_relay": float(np.mean(relayed)),
+                "mean_gain_ms": float(np.mean(gains)) * 1e3,
+                "max_gain_ms": float(np.max(gains)) * 1e3,
+            }
+        )
+    return rows
+
+
+def test_tango_of_n_diversity(benchmark):
+    rows = benchmark(run_sweep)
+    emit(
+        format_table(
+            rows,
+            title="E9 — path diversity and delay gain vs mesh size N",
+        )
+    )
+
+    by_n = {row["N"]: row for row in rows}
+    # N=2 is the paper's pairing: direct paths only, no relays.
+    assert by_n[2]["routes_with_relay"] == by_n[2]["direct_routes"]
+    # Diversity grows strictly with every added member...
+    relayed = [by_n[n]["routes_with_relay"] for n in N_RANGE]
+    assert all(a < b for a, b in zip(relayed, relayed[1:]))
+    # ...while direct diversity stays flat (it is a pair property).
+    direct = [by_n[n]["direct_routes"] for n in N_RANGE]
+    assert max(direct) - min(direct) < 1e-9
+    # And the extra routes are *useful*: mean best-delay gain grows.
+    assert by_n[6]["mean_gain_ms"] > by_n[3]["mean_gain_ms"]
+    assert by_n[6]["max_gain_ms"] > 1.0  # at least one pair gains > 1 ms

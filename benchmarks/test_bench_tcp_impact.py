@@ -1,0 +1,115 @@
+"""E6 / Section 5 TCP discussion — spikes, reordering, throughput.
+
+Paper: "even though GTT's network does deliver some packets at the
+minimum one-way delay of 28ms (even during the instability), TCP's
+in-order packet delivery means that should a packet experience delay
+during one of these spikes, future application packets will be delivered
+out-of-order (resulting in a reduction in TCP throughput) and the
+application-layer data stream will be held up by the slow packet.  Thus,
+changing to a path that is not experiencing this network instability is
+superior for application performance."
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import format_kv, format_table
+from repro.analysis.tcp_model import (
+    InOrderDeliveryModel,
+    mathis_throughput,
+    stream_goodput,
+)
+from repro.scenarios.vultr import INSTABILITY_HOUR
+from repro.telemetry.reorder import reordering_from_arrivals
+
+EVENT_S = INSTABILITY_HOUR * 3600.0
+T0, T1 = EVENT_S, EVENT_S + 300.0  # the 5-minute instability window
+SEND_INTERVAL = 0.01
+GTT, TELIA = 2, 1
+DEADLINE_S = 0.050
+PAYLOAD = 1000
+
+
+def run_replay(deployment):
+    _, true = deployment.run_fast_campaign("ny", T0, T1, SEND_INTERVAL)
+    sends = true.series(GTT).times
+    model = InOrderDeliveryModel(stall_threshold_s=0.0005)
+    return {
+        "sends": sends,
+        "gtt": true.series(GTT).values,
+        "telia": true.series(TELIA).values,
+        "stats_gtt": model.replay(sends, true.series(GTT).values),
+        "stats_telia": model.replay(sends, true.series(TELIA).values),
+    }
+
+
+def test_tcp_impact_of_instability(benchmark, deployment):
+    data = benchmark(run_replay, deployment)
+    stats_gtt, stats_telia = data["stats_gtt"], data["stats_telia"]
+
+    rows = [
+        dict(path="GTT (unstable)", **_row(stats_gtt)),
+        dict(path="Telia (stable)", **_row(stats_telia)),
+    ]
+    emit(
+        format_table(
+            rows,
+            title="Section 5 — in-order delivery during the instability",
+        )
+    )
+
+    # Reordering: spiked packets are overtaken by later ones.
+    arrivals = data["sends"] + data["gtt"]
+    order = np.argsort(arrivals, kind="stable")
+    report = reordering_from_arrivals(
+        np.arange(arrivals.size)[order], arrivals[order]
+    )
+    goodput_gtt = stream_goodput(data["sends"], data["gtt"], PAYLOAD, DEADLINE_S)
+    goodput_telia = stream_goodput(
+        data["sends"], data["telia"], PAYLOAD, DEADLINE_S
+    )
+    loss_equivalent = report.reordered_fraction
+    emit(
+        format_kv(
+            [
+                ("reordered fraction (GTT)", report.reordered_fraction),
+                ("max reordering extent", report.max_extent),
+                ("deadline goodput GTT (B/s)", goodput_gtt),
+                ("deadline goodput Telia (B/s)", goodput_telia),
+                (
+                    "Mathis throughput GTT (B/s, spikes as loss)",
+                    mathis_throughput(1460, 2 * 0.028, max(loss_equivalent, 1e-9)),
+                ),
+            ],
+            title="reordering and throughput",
+        )
+    )
+
+    # Shapes from the paper's narrative:
+    # 1. GTT still delivers packets at the floor during instability.
+    assert float(np.min(data["gtt"])) < 0.029
+    # 2. In-order delivery amplifies spikes: mean app delay >> mean
+    #    network delay on the unstable path, but not on the stable one.
+    assert stats_gtt.hol_blocking_penalty_s > 0.0008
+    assert stats_telia.hol_blocking_penalty_s < 0.0001
+    assert (
+        stats_gtt.hol_blocking_penalty_s
+        > 10 * stats_telia.hol_blocking_penalty_s
+    )
+    # 3. Packets stall behind spiked predecessors; reordering exists.
+    assert stats_gtt.stalled_packets > 100
+    assert report.reordered > 0
+    # 4. The stable path is superior for application performance even
+    #    though its *network* mean is higher than GTT's.
+    assert stats_telia.mean_network_delay_s > stats_gtt.mean_network_delay_s
+    assert goodput_telia > goodput_gtt
+
+
+def _row(stats):
+    return {
+        "net_mean_ms": stats.mean_network_delay_s * 1e3,
+        "app_mean_ms": stats.mean_app_delay_s * 1e3,
+        "app_p99_ms": stats.p99_app_delay_s * 1e3,
+        "app_max_ms": stats.max_app_delay_s * 1e3,
+        "stalled": stats.stalled_packets,
+    }

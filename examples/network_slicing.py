@@ -1,0 +1,109 @@
+"""QoS slicing over Tango tunnels (paper Section 6).
+
+"Tango has the potential to act as a wide-area dynamically slicable
+network allowing participants to enforce certain QoS."
+
+Three slices share the NY→LA pairing:
+
+* **control** — the drone control loop: pinned to the stable low-jitter
+  path, never metered;
+* **video** — adaptive path selection, generous meter;
+* **bulk** — backups: best-effort path, tightly metered so it cannot
+  starve the others.
+
+The border switch classifies by flow label, meters each slice with a
+token bucket, and routes each slice by its own policy — all at the
+per-packet layer, no core support.
+
+Run:
+    python examples/network_slicing.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.policy import LowestDelaySelector, StaticSelector
+from repro.core.slicing import NetworkSlice, SliceManager, TokenBucket
+from repro.netsim.trace import PacketFactory
+from repro.scenarios.vultr import VultrDeployment
+
+FLOW_CONTROL, FLOW_VIDEO, FLOW_BULK = 1, 2, 3
+RUN_SECONDS = 8.0
+
+
+def main() -> None:
+    deployment = VultrDeployment(include_events=False)
+    deployment.establish()
+    deployment.start_path_probes("ny")
+
+    gateway = deployment.gateway("ny")
+    control = NetworkSlice(
+        "control", frozenset({FLOW_CONTROL}), StaticSelector(2)  # pin GTT
+    )
+    video = NetworkSlice(
+        "video",
+        frozenset({FLOW_VIDEO}),
+        LowestDelaySelector(gateway.outbound, window_s=1.0),
+        bucket=TokenBucket(rate_bps=2_000_000.0, burst_bytes=64 * 1024),
+    )
+    bulk = NetworkSlice(
+        "bulk",
+        frozenset({FLOW_BULK}),
+        StaticSelector(0),  # best-effort on the default path
+        bucket=TokenBucket(rate_bps=80_000.0, burst_bytes=4 * 1024),
+    )
+    best_effort = NetworkSlice("best-effort", frozenset(), StaticSelector(0))
+    manager = SliceManager([control, video, bulk], best_effort)
+    # Admission runs before the Tango sender program; routing decisions
+    # delegate to each slice's own selector.
+    deployment.gw_ny_switch.egress_programs.insert(0, manager.admission_program)
+    deployment.set_data_policy("ny", manager)
+
+    send = deployment.sender_for("ny")
+    workloads = (
+        (FLOW_CONTROL, 100.0, 128),  # 100 pps of 128 B control messages
+        (FLOW_VIDEO, 200.0, 1000),  # ~1.6 Mbit/s of video
+        (FLOW_BULK, 200.0, 1000),  # bulk tries the same rate, gets capped
+    )
+    for flow, rate, payload in workloads:
+        factory = PacketFactory(
+            src=str(deployment.pairing.a.host_address(flow)),
+            dst=str(deployment.pairing.b.host_address(flow)),
+            flow_label=flow,
+            payload_bytes=payload,
+        )
+        count = int(rate * RUN_SECONDS)
+        for i in range(count):
+            deployment.sim.schedule_at(
+                i / rate, lambda f=factory: send(f.build())
+            )
+    deployment.net.run(until=RUN_SECONDS + 1.0)
+
+    delivered = {}
+    paths = {}
+    for packet in deployment.host_la.received_packets:
+        delivered[packet.flow_label] = delivered.get(packet.flow_label, 0) + 1
+        paths.setdefault(packet.flow_label, set()).add(
+            packet.meta.get("tango_path_id")
+        )
+    rows = []
+    for row in manager.report():
+        name = row["slice"]
+        flow = {"control": 1, "video": 2, "bulk": 3}.get(name)
+        rows.append(
+            {
+                **row,
+                "delivered": delivered.get(flow, 0),
+                "paths": ",".join(
+                    str(p) for p in sorted(paths.get(flow, set()))
+                ),
+            }
+        )
+    print(format_table(rows, title="per-slice outcome (8 s of offered load)"))
+    print(
+        "\nThe control slice rides its pinned path untouched; video adapts"
+        "\nwithin its envelope; bulk is clamped by its token bucket — QoS"
+        "\nenforced entirely at the cooperating edges."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for editable installs on environments without the
+``wheel`` package (PEP 660 builds need it; legacy develop does not)."""
+from setuptools import setup
+
+setup()

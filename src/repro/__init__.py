@@ -1,0 +1,29 @@
+"""Tango: cooperative edge-to-edge routing — a faithful reproduction.
+
+Reproduces *It Takes Two to Tango: Cooperative Edge-to-Edge Routing*
+(Birge-Lee, Apostolaki, Rexford — HotNets 2022) as a pure-Python system:
+
+* :mod:`repro.bgp` — AS-level BGP control plane (communities, policies).
+* :mod:`repro.netsim` — discrete-event packet simulator with calibrated
+  wide-area delay processes.
+* :mod:`repro.dataplane` — the eBPF-style sender/receiver programs.
+* :mod:`repro.telemetry` — one-way delay, jitter, loss, reordering, auth.
+* :mod:`repro.core` — Tango itself: discovery, tunnels, policies,
+  gateways, pairwise sessions, and Tango-of-N meshes.
+* :mod:`repro.baselines` — the Section 2 alternatives.
+* :mod:`repro.scenarios` — the Vultr NY/LA deployment and synthetic
+  topologies.
+* :mod:`repro.analysis` — statistics, a TCP impact model, and reports.
+
+Quickstart::
+
+    from repro.scenarios.vultr import VultrDeployment
+
+    deployment = VultrDeployment()
+    state = deployment.establish()
+    print(state.discovery_a_to_b.labels())   # paths NY -> LA
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

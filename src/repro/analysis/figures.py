@@ -1,0 +1,93 @@
+"""Figure-data export.
+
+The benchmarks print the rows a reader compares against the paper; this
+module writes the underlying *series* to CSV so any plotting stack can
+regenerate the actual figures.  One function per figure, all driven by a
+:class:`~repro.scenarios.vultr.VultrDeployment`.
+
+No plotting library is imported — the repository stays dependency-light;
+the CSVs load directly into pandas/gnuplot/matplotlib.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from ..scenarios.vultr import INSTABILITY_HOUR, ROUTE_CHANGE_HOUR
+
+__all__ = [
+    "export_fig4_left",
+    "export_fig4_middle",
+    "export_fig4_right",
+    "export_all",
+]
+
+PathLike = Union[str, Path]
+
+
+def _write_series_csv(
+    path: Path, deployment, src: str, t0: float, t1: float, interval: float
+) -> int:
+    """One CSV: time_hours plus a measured-OWD-ms column per path."""
+    _, true = deployment.run_fast_campaign(src, t0, t1, interval_s=interval)
+    labels = {t.path_id: t.short_label for t in deployment.tunnels(src)}
+    path_ids = true.path_ids()
+    times = true.series(path_ids[0]).times
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_hours"] + [labels[p] + "_ms" for p in path_ids])
+        columns = [true.series(p).values for p in path_ids]
+        for index, t in enumerate(times):
+            writer.writerow(
+                [f"{t / 3600.0:.6f}"]
+                + [f"{column[index] * 1e3:.4f}" for column in columns]
+            )
+    return len(times)
+
+
+def export_fig4_left(
+    deployment, out_dir: PathLike, interval_s: float = 5.0
+) -> Path:
+    """Hours 25–48, NY→LA, all paths (the figure's left panel)."""
+    out = Path(out_dir) / "fig4_left_owd_ny_to_la.csv"
+    _write_series_csv(
+        out, deployment, "ny", 25.0 * 3600.0, 48.0 * 3600.0, interval_s
+    )
+    return out
+
+
+def export_fig4_middle(
+    deployment, out_dir: PathLike, interval_s: float = 0.5
+) -> Path:
+    """The hour around the route-change event (middle panel)."""
+    event = ROUTE_CHANGE_HOUR * 3600.0
+    out = Path(out_dir) / "fig4_middle_route_change.csv"
+    _write_series_csv(
+        out, deployment, "ny", event - 900.0, event + 2700.0, interval_s
+    )
+    return out
+
+
+def export_fig4_right(
+    deployment, out_dir: PathLike, interval_s: float = 0.05
+) -> Path:
+    """The ~12 minutes around the instability window (right panel)."""
+    event = INSTABILITY_HOUR * 3600.0
+    out = Path(out_dir) / "fig4_right_instability.csv"
+    _write_series_csv(
+        out, deployment, "ny", event - 120.0, event + 420.0, interval_s
+    )
+    return out
+
+
+def export_all(deployment, out_dir: PathLike) -> list[Path]:
+    """Write every figure's data; returns the paths written."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        export_fig4_left(deployment, directory),
+        export_fig4_middle(deployment, directory),
+        export_fig4_right(deployment, directory),
+    ]

@@ -1,0 +1,82 @@
+"""Plain-text report rendering for experiment harnesses.
+
+Benchmarks print the same rows the paper reports; this module renders
+them as aligned monospace tables so ``pytest benchmarks/ --benchmark-only``
+output is directly comparable with the paper's tables and figure
+narrations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_kv", "series_sparkline"]
+
+
+def _render_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    Column order defaults to first-row key order; missing cells render
+    as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_render_cell(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[tuple[str, object]], title: Optional[str] = None) -> str:
+    """Render key/value findings, one per line."""
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"  {key}: {_render_cell(value)}")
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def series_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A terminal sparkline of a series (down-sampled to ``width``).
+
+    Handy for eyeballing the Figure 4 shapes in benchmark output without
+    a plotting stack.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        stride = len(data) / width
+        data = [
+            max(data[int(i * stride) : max(int((i + 1) * stride), int(i * stride) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(data), max(data)
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * len(data)
+    scale = (len(_SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(_SPARK_CHARS[int((v - lo) * scale)] for v in data)

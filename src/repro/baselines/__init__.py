@@ -1,0 +1,13 @@
+"""The paper's Section 2 alternatives, as runnable baselines."""
+
+from .bgp_default import BgpDefaultBaseline
+from .multihoming import MultihomingBaseline
+from .overlay import OverlayBaseline
+from .rtt_probing import RttProbingBaseline
+
+__all__ = [
+    "BgpDefaultBaseline",
+    "MultihomingBaseline",
+    "OverlayBaseline",
+    "RttProbingBaseline",
+]

@@ -1,0 +1,32 @@
+"""The status quo: single BGP best path, no measurement, no control.
+
+What the paper's Figure 1 edge networks are stuck with: BGP picks one
+path per prefix by policy (not performance), and the edge rides it
+through route changes and instability alike.  Every experiment's
+comparison anchor.
+"""
+
+from __future__ import annotations
+
+from ..analysis.replay import PolicyReplay, ReplayResult, static_chooser
+
+__all__ = ["BgpDefaultBaseline"]
+
+
+class BgpDefaultBaseline:
+    """Always the provider-preferred path (discovery index 0)."""
+
+    name = "bgp-default"
+
+    def __init__(self, default_path_id: int = 0) -> None:
+        self.default_path_id = default_path_id
+
+    def run(self, replay: PolicyReplay, t0: float, t1: float) -> ReplayResult:
+        """Score the default path over [t0, t1)."""
+        return replay.run(
+            static_chooser(self.default_path_id),
+            t0,
+            t1,
+            name=self.name,
+            initial_path=self.default_path_id,
+        )

@@ -1,0 +1,185 @@
+"""BGP path attributes.
+
+Only the attributes the Tango control plane actually exercises are modeled,
+but they are modeled with real BGP semantics: AS paths with prepending and
+loop detection, standard and large communities (Vultr's traffic-control
+knobs are large communities of the form ``20473:6000:<asn>``), origin
+codes, LOCAL_PREF, and MED.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+__all__ = [
+    "Origin",
+    "AsPath",
+    "Community",
+    "LargeCommunity",
+    "RouteAttributes",
+    "is_private_asn",
+]
+
+#: RFC 6996 private ASN range (16-bit block).
+_PRIVATE_ASN_MIN = 64512
+_PRIVATE_ASN_MAX = 65534
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for RFC 6996 private-use ASNs (the prototype's tenant ASN)."""
+    return _PRIVATE_ASN_MIN <= asn <= _PRIVATE_ASN_MAX
+
+
+class Origin(enum.IntEnum):
+    """BGP ORIGIN attribute; lower is preferred in the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class AsPath:
+    """An AS_PATH: a sequence of ASNs, most recent hop first.
+
+    ``asns[0]`` is the neighbor that sent the route; ``asns[-1]`` is the
+    origin AS (or a poisoned ASN).  Prepending repeats an ASN, lengthening
+    the path without changing reachability.
+    """
+
+    asns: tuple[int, ...] = ()
+
+    @classmethod
+    def of(cls, *asns: int) -> "AsPath":
+        """Convenience constructor: ``AsPath.of(2914, 20473)``."""
+        return cls(tuple(asns))
+
+    def prepend(self, asn: int, count: int = 1) -> "AsPath":
+        """Return a path with ``asn`` prepended ``count`` times."""
+        if count < 1:
+            raise ValueError(f"prepend count must be >= 1, got {count}")
+        return AsPath((asn,) * count + self.asns)
+
+    def contains(self, asn: int) -> bool:
+        """Loop-detection test."""
+        return asn in self.asns
+
+    def strip_private(self) -> "AsPath":
+        """Remove private ASNs (what Vultr does to tenant sessions)."""
+        return AsPath(tuple(a for a in self.asns if not is_private_asn(a)))
+
+    def without(self, asn: int) -> "AsPath":
+        """Remove every occurrence of ``asn`` (used to present transit-only
+        views of paths that traverse the provider's own ASN)."""
+        return AsPath(tuple(a for a in self.asns if a != asn))
+
+    def unique_asns(self) -> tuple[int, ...]:
+        """ASNs in path order with consecutive duplicates collapsed."""
+        out: list[int] = []
+        for asn in self.asns:
+            if not out or out[-1] != asn:
+                out.append(asn)
+        return tuple(out)
+
+    @property
+    def length(self) -> int:
+        """AS_PATH length as the decision process counts it (with repeats)."""
+        return len(self.asns)
+
+    @property
+    def first_hop(self) -> Optional[int]:
+        """The neighboring AS this route was heard from."""
+        return self.asns[0] if self.asns else None
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """The AS that originated the route."""
+        return self.asns[-1] if self.asns else None
+
+    def __iter__(self):
+        return iter(self.asns)
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self.asns) if self.asns else "<empty>"
+
+
+@dataclass(frozen=True, order=True)
+class Community(object):
+    """A standard RFC 1997 community, rendered ``asn:value``."""
+
+    asn: int
+    value: int
+
+    def __post_init__(self) -> None:
+        for name, part in (("asn", self.asn), ("value", self.value)):
+            if not 0 <= part <= 0xFFFF:
+                raise ValueError(f"community {name} out of 16-bit range: {part}")
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class LargeCommunity:
+    """An RFC 8092 large community ``global_admin:data1:data2``.
+
+    Vultr's traffic-control communities are large communities with
+    ``global_admin == 20473``; every other AS treats them as opaque
+    transitive baggage, exactly as on the real Internet.
+    """
+
+    global_admin: int
+    data1: int
+    data2: int
+
+    def __post_init__(self) -> None:
+        for name, part in (
+            ("global_admin", self.global_admin),
+            ("data1", self.data1),
+            ("data2", self.data2),
+        ):
+            if not 0 <= part <= 0xFFFFFFFF:
+                raise ValueError(f"large community {name} out of range: {part}")
+
+    def __str__(self) -> str:
+        return f"{self.global_admin}:{self.data1}:{self.data2}"
+
+
+@dataclass(frozen=True)
+class RouteAttributes:
+    """The attribute bundle carried with an announcement.
+
+    LOCAL_PREF is *not* carried across eBGP in real BGP; we keep it here
+    because import policy assigns it on receipt and the decision process
+    reads it — announcements built for export always reset it.
+    """
+
+    as_path: AsPath = field(default_factory=AsPath)
+    origin: Origin = Origin.IGP
+    local_pref: int = 100
+    med: int = 0
+    communities: frozenset[Community] = frozenset()
+    large_communities: frozenset[LargeCommunity] = frozenset()
+
+    def with_path(self, as_path: AsPath) -> "RouteAttributes":
+        return replace(self, as_path=as_path)
+
+    def with_local_pref(self, local_pref: int) -> "RouteAttributes":
+        return replace(self, local_pref=local_pref)
+
+    def add_communities(
+        self,
+        communities: Iterable[Community] = (),
+        large: Iterable[LargeCommunity] = (),
+    ) -> "RouteAttributes":
+        """Return attributes with extra communities attached."""
+        return replace(
+            self,
+            communities=self.communities | frozenset(communities),
+            large_communities=self.large_communities | frozenset(large),
+        )

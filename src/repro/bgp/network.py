@@ -1,0 +1,199 @@
+"""AS-level topology and route propagation to convergence.
+
+The engine deliberately ignores BGP timers (MRAI, convergence takes
+"several minutes" in the paper — one reason BGP cannot do fast reroute).
+Instead it computes the *converged* routing state by synchronous
+iteration: each round, every router's exports are diffed against what the
+neighbor last heard, deltas are delivered, decisions rerun — until a
+fixpoint.  Under Gao–Rexford policies with deterministic tie-breaks the
+fixpoint exists and is unique, and reaching it round-by-round mirrors the
+"wait for BGP to propagate" step of the paper's discovery procedure.
+
+Wall-clock convergence latency is modeled separately: callers that care
+(e.g. the route-change experiment) charge ``CONVERGENCE_DELAY_S`` per
+convergence when translating control-plane activity onto the data-plane
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from .attributes import AsPath
+from .messages import Prefix, Withdrawal, as_prefix
+from .policy import Relationship
+from .router import BgpRouter
+
+__all__ = ["ConvergenceError", "BgpNetwork", "CONVERGENCE_DELAY_S"]
+
+#: Nominal wall-clock cost of one BGP convergence wave, for experiments
+#: that put control-plane reactions on the data-plane timeline.  The paper
+#: cites "BGP's several minute convergence time"; 180 s is a middle value.
+CONVERGENCE_DELAY_S = 180.0
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when propagation fails to reach a fixpoint (policy bug)."""
+
+
+class BgpNetwork:
+    """A set of BGP routers plus their sessions, with a propagation engine."""
+
+    def __init__(self) -> None:
+        self.routers: dict[str, BgpRouter] = {}
+        #: Directed session list (a, b): a may send updates to b.
+        self._sessions: list[tuple[str, str]] = []
+        self.total_rounds = 0
+        self.convergence_count = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def add_router(self, router: BgpRouter) -> BgpRouter:
+        if router.name in self.routers:
+            raise ValueError(f"duplicate router name: {router.name}")
+        self.routers[router.name] = router
+        return router
+
+    def router(self, name: str) -> BgpRouter:
+        try:
+            return self.routers[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown router {name!r}; have {sorted(self.routers)}"
+            ) from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        relationship_of_b_to_a: Relationship,
+        a_preference: Optional[int] = None,
+        b_preference: Optional[int] = None,
+    ) -> None:
+        """Create a bidirectional eBGP session.
+
+        Args:
+            a, b: router names.
+            relationship_of_b_to_a: how ``a`` sees ``b`` (e.g. PROVIDER
+                means b is a's provider).
+            a_preference: a's operator tie-break rank for this session.
+            b_preference: b's rank for the reverse direction.
+        """
+        router_a = self.router(a)
+        router_b = self.router(b)
+        router_a.add_neighbor(
+            b, router_b.asn, relationship_of_b_to_a, a_preference
+        )
+        router_b.add_neighbor(
+            a, router_a.asn, relationship_of_b_to_a.inverse(), b_preference
+        )
+        self._sessions.append((a, b))
+        self._sessions.append((b, a))
+
+    def add_provider(
+        self,
+        customer: str,
+        provider: str,
+        customer_preference: Optional[int] = None,
+    ) -> None:
+        """Shorthand: ``provider`` sells transit to ``customer``."""
+        self.connect(
+            customer,
+            provider,
+            Relationship.PROVIDER,
+            a_preference=customer_preference,
+        )
+
+    def add_peering(self, a: str, b: str) -> None:
+        """Shorthand: settlement-free peering between ``a`` and ``b``."""
+        self.connect(a, b, Relationship.PEER)
+
+    def disconnect(self, a: str, b: str) -> None:
+        """Tear down the session between ``a`` and ``b``.
+
+        Both routers flush the routes learned over it and rerun their
+        decision; call :meth:`converge` afterwards to propagate the
+        fallout (withdrawals, new best paths).
+        """
+        router_a = self.router(a)
+        router_b = self.router(b)
+        if b not in router_a.neighbors:
+            raise KeyError(f"no session between {a!r} and {b!r}")
+        router_a.remove_neighbor(b)
+        router_b.remove_neighbor(a)
+        router_a.adj_rib_out.clear_neighbor(b)
+        router_b.adj_rib_out.clear_neighbor(a)
+        self._sessions = [
+            s for s in self._sessions if s not in ((a, b), (b, a))
+        ]
+
+    # -- propagation --------------------------------------------------------------
+
+    def converge(self, max_rounds: int = 200) -> int:
+        """Propagate updates until no router's state changes.
+
+        Returns:
+            The number of rounds taken.
+
+        Raises:
+            ConvergenceError: if ``max_rounds`` is exceeded, which under
+                valley-free policies indicates a modeling bug rather than a
+                genuine BGP wedgie.
+        """
+        self.convergence_count += 1
+        for round_number in range(1, max_rounds + 1):
+            changed = self._propagate_round()
+            self.total_rounds += 1
+            if not changed:
+                return round_number
+        raise ConvergenceError(
+            f"no fixpoint after {max_rounds} rounds; "
+            "check relationships/policies for dispute wheels"
+        )
+
+    def _propagate_round(self) -> bool:
+        """One synchronous delivery wave.  Returns True if anything changed."""
+        changed = False
+        for sender_name, receiver_name in self._sessions:
+            sender = self.routers[sender_name]
+            receiver = self.routers[receiver_name]
+            exports = sender.exports_for(receiver_name)
+            previously_sent = sender.adj_rib_out.prefixes_to(receiver_name)
+            for prefix, announcement in exports.items():
+                if sender.adj_rib_out.last_sent(receiver_name, prefix) == announcement:
+                    continue
+                sender.adj_rib_out.record(receiver_name, announcement)
+                if receiver.receive_announcement(sender_name, announcement):
+                    changed = True
+            for prefix in previously_sent - set(exports):
+                sender.adj_rib_out.forget(receiver_name, prefix)
+                if receiver.receive_withdrawal(sender_name, Withdrawal(prefix)):
+                    changed = True
+        return changed
+
+    # -- queries ------------------------------------------------------------------
+
+    def best_path(
+        self, router_name: str, prefix: Union[str, Prefix]
+    ) -> Optional[AsPath]:
+        """Best AS path from ``router_name`` toward ``prefix``."""
+        return self.router(router_name).best_path(as_prefix(prefix))
+
+    def reachable(self, router_name: str, prefix: Union[str, Prefix]) -> bool:
+        """Does ``router_name`` currently have any route for ``prefix``?"""
+        router = self.router(router_name)
+        normalized = as_prefix(prefix)
+        if normalized in router.originated:
+            return True
+        return router.best_route(normalized) is not None
+
+    def routers_originating(self, prefix: Union[str, Prefix]) -> list[str]:
+        """Names of routers currently originating ``prefix``."""
+        normalized = as_prefix(prefix)
+        return sorted(
+            name for name, r in self.routers.items() if normalized in r.originated
+        )
+
+    def session_pairs(self) -> Iterable[tuple[str, str]]:
+        """Directed sessions (sender, receiver)."""
+        return tuple(self._sessions)

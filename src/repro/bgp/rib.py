@@ -1,0 +1,121 @@
+"""Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .attributes import RouteAttributes
+from .messages import Announcement, Prefix
+from .policy import Relationship
+
+__all__ = ["RibEntry", "AdjRibIn", "LocRib", "AdjRibOut"]
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One candidate route: a prefix as heard from one neighbor."""
+
+    prefix: Prefix
+    attributes: RouteAttributes
+    neighbor: str
+    relationship: Relationship
+
+    @property
+    def as_path(self):
+        return self.attributes.as_path
+
+
+class AdjRibIn:
+    """Routes received from each neighbor, pre-decision."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, Prefix], RibEntry] = {}
+
+    def upsert(self, entry: RibEntry) -> bool:
+        """Install/replace a route.  Returns True if anything changed."""
+        key = (entry.neighbor, entry.prefix)
+        if self._routes.get(key) == entry:
+            return False
+        self._routes[key] = entry
+        return True
+
+    def remove(self, neighbor: str, prefix: Prefix) -> bool:
+        """Drop the route for ``prefix`` from ``neighbor`` if present."""
+        return self._routes.pop((neighbor, prefix), None) is not None
+
+    def remove_neighbor(self, neighbor: str) -> int:
+        """Session teardown: drop every route from ``neighbor``."""
+        keys = [k for k in self._routes if k[0] == neighbor]
+        for key in keys:
+            del self._routes[key]
+        return len(keys)
+
+    def get(self, neighbor: str, prefix: Prefix) -> Optional[RibEntry]:
+        return self._routes.get((neighbor, prefix))
+
+    def candidates(self, prefix: Prefix) -> list[RibEntry]:
+        """All routes for ``prefix``, across neighbors (stable order)."""
+        return [e for (_, p), e in sorted(self._routes.items()) if p == prefix]
+
+    def prefixes(self) -> set[Prefix]:
+        return {prefix for (_, prefix) in self._routes}
+
+    def prefixes_from(self, neighbor: str) -> set[Prefix]:
+        return {p for (n, p) in self._routes if n == neighbor}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+class LocRib:
+    """Best route per prefix, post-decision."""
+
+    def __init__(self) -> None:
+        self._best: dict[Prefix, RibEntry] = {}
+
+    def set_best(self, prefix: Prefix, entry: Optional[RibEntry]) -> bool:
+        """Record the decision outcome.  Returns True on change."""
+        current = self._best.get(prefix)
+        if entry is None:
+            if current is None:
+                return False
+            del self._best[prefix]
+            return True
+        if current == entry:
+            return False
+        self._best[prefix] = entry
+        return True
+
+    def best(self, prefix: Prefix) -> Optional[RibEntry]:
+        return self._best.get(prefix)
+
+    def routes(self) -> dict[Prefix, RibEntry]:
+        return dict(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+class AdjRibOut:
+    """What we last advertised to each neighbor (for diff-based updates)."""
+
+    def __init__(self) -> None:
+        self._sent: dict[tuple[str, Prefix], Announcement] = {}
+
+    def last_sent(self, neighbor: str, prefix: Prefix) -> Optional[Announcement]:
+        return self._sent.get((neighbor, prefix))
+
+    def record(self, neighbor: str, announcement: Announcement) -> None:
+        self._sent[(neighbor, announcement.prefix)] = announcement
+
+    def forget(self, neighbor: str, prefix: Prefix) -> None:
+        self._sent.pop((neighbor, prefix), None)
+
+    def prefixes_to(self, neighbor: str) -> set[Prefix]:
+        return {p for (n, p) in self._sent if n == neighbor}
+
+    def clear_neighbor(self, neighbor: str) -> None:
+        """Session teardown: forget everything advertised to ``neighbor``."""
+        for key in [k for k in self._sent if k[0] == neighbor]:
+            del self._sent[key]

@@ -1,0 +1,108 @@
+"""BGP on the wall clock: hold timers and convergence latency.
+
+The propagation engine in :mod:`repro.bgp.network` computes *converged*
+state instantly — right for discovery experiments, wrong for questions
+like "how long is the default path black-holed after a failure?".  This
+module puts the control plane on the simulation timeline:
+
+* a failed session is only *detected* after the hold timer expires
+  (RFC 4271 default: 90 s without keepalives);
+* the network then reconverges, which costs a convergence delay (the
+  paper's "several minute convergence time"; we default to
+  :data:`~repro.bgp.network.CONVERGENCE_DELAY_S`);
+* only then do data-plane FIBs change (the ``on_converged`` hook, wired
+  to :func:`repro.core.fibsync.sync_fibs` in full-system setups).
+
+Tango's data plane reacts in measurement-window time, orders of
+magnitude earlier — the E11 benchmark quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..netsim.events import Simulator
+from .network import CONVERGENCE_DELAY_S, BgpNetwork
+
+__all__ = ["SessionTimers", "TimedFailover"]
+
+
+@dataclass(frozen=True)
+class SessionTimers:
+    """RFC 4271-style timers.
+
+    Attributes:
+        hold_s: seconds without keepalives before a session is declared
+            down (RFC default 90; aggressive deployments use 9–30).
+        convergence_s: wall-clock cost of the reconvergence wave that
+            follows.
+    """
+
+    hold_s: float = 90.0
+    convergence_s: float = CONVERGENCE_DELAY_S
+
+    def __post_init__(self) -> None:
+        if self.hold_s < 0:
+            raise ValueError(f"hold timer must be >= 0, got {self.hold_s}")
+        if self.convergence_s < 0:
+            raise ValueError(
+                f"convergence delay must be >= 0, got {self.convergence_s}"
+            )
+
+    @property
+    def total_blackhole_s(self) -> float:
+        """Worst-case time traffic is black-holed: detect + reconverge."""
+        return self.hold_s + self.convergence_s
+
+
+class TimedFailover:
+    """Plays a session failure out on the simulation timeline.
+
+    Usage::
+
+        failover = TimedFailover(sim, bgp, timers, on_converged=resync)
+        failover.fail_session("vultr-ny", "gtt", at=5.0)
+
+    At ``at + hold_s`` the session is torn down and the network
+    reconverges (logically); at ``at + hold_s + convergence_s`` the
+    ``on_converged`` callback fires — the moment new FIBs are live.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bgp: BgpNetwork,
+        timers: Optional[SessionTimers] = None,
+        on_converged: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.bgp = bgp
+        self.timers = timers or SessionTimers()
+        self.on_converged = on_converged
+        #: (a, b, failed_at, detected_at, converged_at) per failure.
+        self.log: list[tuple[str, str, float, float, float]] = []
+
+    def fail_session(self, a: str, b: str, at: float) -> tuple[float, float]:
+        """Schedule a failure of the a–b session at time ``at``.
+
+        Returns:
+            ``(detected_at, converged_at)`` — when BGP notices, and when
+            new routes are actually forwarding.
+        """
+        detected_at = at + self.timers.hold_s
+        converged_at = detected_at + self.timers.convergence_s
+        self.sim.schedule_at(detected_at, lambda: self._detect(a, b))
+        self.sim.schedule_at(
+            converged_at, lambda: self._converged(a, b, at, detected_at)
+        )
+        return detected_at, converged_at
+
+    def _detect(self, a: str, b: str) -> None:
+        self.bgp.disconnect(a, b)
+        self.bgp.converge()
+
+    def _converged(self, a: str, b: str, failed_at: float, detected_at: float) -> None:
+        self.log.append((a, b, failed_at, detected_at, self.sim.now))
+        if self.on_converged is not None:
+            self.on_converged()

@@ -1,0 +1,236 @@
+"""Command-line interface: ``tango-repro <command>``.
+
+Five subcommands, each a self-contained run of one slice of the system:
+
+* ``discover`` — run Figure 3's iterative suppression discovery and print
+  the path/community table per direction.
+* ``campaign`` — sample a measurement campaign window and print per-path
+  statistics (means, percentiles, rolling-window jitter).
+* ``failover`` — packet-level failure-recovery demo (blackhole a path,
+  time Tango's reroute, compare with BGP convergence).
+* ``mesh`` — the Tango-of-N diversity sweep.
+* ``figures`` — export the Figure 4 data series as CSV.
+
+Installed as a console script by ``pip install -e .``; also runnable as
+``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tango-repro",
+        description="Tango (HotNets'22) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("discover", help="run Fig. 3 path discovery")
+
+    campaign = sub.add_parser("campaign", help="sample a measurement window")
+    campaign.add_argument(
+        "--direction", choices=("ny", "la"), default="ny", help="sending edge"
+    )
+    campaign.add_argument(
+        "--start-hour", type=float, default=25.0, help="window start (hours)"
+    )
+    campaign.add_argument(
+        "--hours", type=float, default=1.0, help="window length (hours)"
+    )
+    campaign.add_argument(
+        "--interval", type=float, default=0.01, help="probe interval (s)"
+    )
+    campaign.add_argument(
+        "--no-events", action="store_true", help="disable Fig. 4 events"
+    )
+
+    failover = sub.add_parser("failover", help="failure-recovery demo")
+    failover.add_argument(
+        "--fail-at", type=float, default=5.0, help="failure time (s)"
+    )
+    failover.add_argument(
+        "--path", default="GTT", help="path label to blackhole"
+    )
+
+    mesh = sub.add_parser("mesh", help="Tango-of-N diversity sweep")
+    mesh.add_argument(
+        "--max-n", type=int, default=6, help="largest mesh size to sweep"
+    )
+
+    figures = sub.add_parser(
+        "figures", help="export Figure 4 data series as CSV"
+    )
+    figures.add_argument(
+        "--out-dir", default="figures", help="output directory for CSVs"
+    )
+    return parser
+
+
+def cmd_discover() -> int:
+    from .analysis.report import format_table
+    from .core.discovery import PathDiscovery
+    from .scenarios.vultr import VULTR_ASN, build_bgp_network
+
+    bgp = build_bgp_network()
+    discovery = PathDiscovery(bgp, VULTR_ASN)
+    for title, announcer, observer in (
+        ("LA -> NY", "tango-ny", "tango-la"),
+        ("NY -> LA", "tango-la", "tango-ny"),
+    ):
+        result = discovery.discover(
+            announcer=announcer,
+            observer=observer,
+            probe_prefix="2001:db8:fff::/48",
+        )
+        rows = [
+            {
+                "rank": p.index + 1,
+                "path": p.short_label,
+                "as_path": p.label,
+                "communities": ", ".join(sorted(str(c) for c in p.communities))
+                or "(none)",
+            }
+            for p in result.paths
+        ]
+        print(format_table(rows, title=title))
+        print()
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .analysis.report import format_table
+    from .analysis.stats import campaign_table
+    from .scenarios.vultr import VultrDeployment
+
+    deployment = VultrDeployment(include_events=not args.no_events)
+    deployment.establish()
+    t0 = args.start_hour * 3600.0
+    t1 = t0 + args.hours * 3600.0
+    _, true = deployment.run_fast_campaign(
+        args.direction, t0, t1, interval_s=args.interval
+    )
+    labels = {
+        t.path_id: t.short_label for t in deployment.tunnels(args.direction)
+    }
+    rows = [s.as_row() for s in campaign_table(true, labels)]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{args.direction.upper()} direction, hours "
+                f"{args.start_hour:g}-{args.start_hour + args.hours:g}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    from .bgp.network import CONVERGENCE_DELAY_S
+    from .core.policy import LowestDelaySelector
+    from .netsim.trace import PacketFactory
+    from .scenarios.vultr import VultrDeployment
+
+    deployment = VultrDeployment(include_events=False)
+    deployment.establish()
+    deployment.start_path_probes("ny", interval_s=0.01)
+    deployment.set_data_policy(
+        "ny", LowestDelaySelector(deployment.gateway_ny.outbound, window_s=1.0)
+    )
+    factory = PacketFactory(
+        src=str(deployment.pairing.a.host_address(4)),
+        dst=str(deployment.pairing.b.host_address(4)),
+        flow_label=9,
+    )
+    send = deployment.sender_for("ny")
+    deliveries: list[tuple[float, int]] = []
+
+    def on_delivery(packet, now):
+        if packet.flow_label == 9:
+            deliveries.append((packet.meta["sent"], packet.meta["tango_path_id"]))
+
+    deployment.host_la._on_packet = on_delivery
+
+    def emit_data():
+        packet = factory.build()
+        packet.meta["sent"] = deployment.sim.now
+        send(packet)
+
+    deployment.sim.call_every(0.02, emit_data)
+    deployment.fail_path("ny", args.path, at=args.fail_at)
+    deployment.net.run(until=args.fail_at + 7.0)
+
+    after = [t for t, _ in deliveries if t >= args.fail_at]
+    if not after:
+        print("no recovery observed — is the policy adaptive?")
+        return 1
+    recovery = min(after) - args.fail_at
+    print(f"failed {args.path} at t={args.fail_at:g}s")
+    print(f"tango recovered in {recovery:.2f}s")
+    print(
+        f"BGP convergence would need ~{CONVERGENCE_DELAY_S:.0f}s "
+        f"({CONVERGENCE_DELAY_S / recovery:.0f}x slower)"
+    )
+    return 0
+
+
+def cmd_mesh(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.report import format_table
+    from .scenarios.topologies import build_mesh_scenario
+
+    rows = []
+    for n in range(2, args.max_n + 1):
+        scenario = build_mesh_scenario(n)
+        gains, diversity = [], []
+        for a in scenario.edge_names:
+            for b in scenario.edge_names:
+                if a != b:
+                    diversity.append(scenario.mesh.diversity(a, b, 1))
+                    gains.append(scenario.mesh.diversity_gain(a, b, 1))
+        rows.append(
+            {
+                "members": n,
+                "routes_per_pair": float(np.mean(diversity)),
+                "mean_gain_ms": float(np.mean(gains)) * 1e3,
+            }
+        )
+    print(format_table(rows, title="Tango of N"))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis.figures import export_all
+    from .scenarios.vultr import VultrDeployment
+
+    deployment = VultrDeployment()
+    deployment.establish()
+    for path in export_all(deployment, args.out_dir):
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "discover":
+        return cmd_discover()
+    if args.command == "campaign":
+        return cmd_campaign(args)
+    if args.command == "failover":
+        return cmd_failover(args)
+    if args.command == "mesh":
+        return cmd_mesh(args)
+    if args.command == "figures":
+        return cmd_figures(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Per-edge Tango controller: the local control loop.
+
+The controller is deliberately thin — Tango's whole point is that the
+per-packet decision lives in the data plane.  What remains for slow-path
+software:
+
+* sampling the loss monitor on a fixed cadence (turning raw sequence
+  counters into time-binned loss rates policies can read),
+* recording which tunnel the data plane is choosing over time (the
+  decision trace that experiment reports plot against the delay series),
+* health checks: flagging tunnels that have gone quiet (no mirrored
+  measurements within a staleness horizon), the trigger a deployment
+  would use to re-run discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..netsim.events import PeriodicTask, Simulator
+from ..telemetry.store import TimeSeries
+from .gateway import TangoGateway
+
+__all__ = ["TunnelHealth", "TangoController"]
+
+
+@dataclass(frozen=True)
+class TunnelHealth:
+    """Health snapshot for one tunnel."""
+
+    path_id: int
+    label: str
+    fresh: bool
+    last_measurement_age_s: Optional[float]
+    recent_loss: float
+
+
+class TangoController:
+    """Slow-path loop for one gateway.
+
+    Args:
+        gateway: the gateway to manage.
+        sim: simulator whose clock drives the loop.
+        interval_s: loop cadence.
+        staleness_s: a tunnel with no mirrored measurement within this
+            horizon is reported unhealthy.
+    """
+
+    def __init__(
+        self,
+        gateway: TangoGateway,
+        sim: Simulator,
+        interval_s: float = 0.1,
+        staleness_s: float = 2.0,
+        on_stale: Optional[Callable[[TunnelHealth], None]] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.gateway = gateway
+        self.sim = sim
+        self.interval_s = interval_s
+        self.staleness_s = staleness_s
+        self.choice_trace = TimeSeries()
+        self._task: Optional[PeriodicTask] = None
+        self.ticks = 0
+        #: Fired once per tunnel when it *becomes* stale (edge-triggered):
+        #: the hook a deployment uses to alarm or re-run discovery.
+        self.on_stale = on_stale
+        self._stale_flags: dict[int, bool] = {}
+
+    def start(self) -> None:
+        """Begin the control loop."""
+        if self._task is not None:
+            raise RuntimeError("controller already started")
+        self._task = self.sim.call_every(self.interval_s, self._tick)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        now = self.sim.now
+        self.gateway.loss_monitor.sample(now)
+        selector = self.gateway.selector
+        last_choice = getattr(selector, "_last_choice", None)
+        if last_choice is None:
+            last_choice = getattr(selector, "index", -1)
+        self.choice_trace.append(now, float(last_choice))
+        if self.on_stale is not None:
+            self._check_staleness()
+
+    def _check_staleness(self) -> None:
+        """Edge-triggered staleness notifications.
+
+        A tunnel that has never been measured is not reported (it is
+        still warming up); only a measured-then-silent tunnel fires.
+        """
+        for health in self.health():
+            was_stale = self._stale_flags.get(health.path_id, False)
+            if health.last_measurement_age_s is None:
+                continue
+            if not health.fresh and not was_stale:
+                self._stale_flags[health.path_id] = True
+                self.on_stale(health)
+            elif health.fresh:
+                self._stale_flags[health.path_id] = False
+
+    # -- health -----------------------------------------------------------------
+
+    def health(self) -> list[TunnelHealth]:
+        """Per-tunnel health based on mirrored-measurement freshness."""
+        now = self.sim.now
+        out = []
+        for tunnel in self.gateway.tunnel_table.all_tunnels():
+            series = self.gateway.outbound.series(tunnel.path_id)
+            if len(series):
+                age = now - float(series.times[-1])
+            else:
+                age = None
+            fresh = age is not None and age <= self.staleness_s
+            out.append(
+                TunnelHealth(
+                    path_id=tunnel.path_id,
+                    label=tunnel.label,
+                    fresh=fresh,
+                    last_measurement_age_s=age,
+                    recent_loss=self.gateway.loss_monitor.recent_loss(
+                        tunnel.path_id
+                    ),
+                )
+            )
+        return out
+
+    def stale_tunnels(self) -> list[TunnelHealth]:
+        """The unhealthy subset — a deployment's re-discovery trigger."""
+        return [h for h in self.health() if not h.fresh]

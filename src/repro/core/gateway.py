@@ -1,0 +1,130 @@
+"""The Tango border gateway: a programmable switch plus Tango state.
+
+One gateway runs at the border of each cooperating edge (paper Figure 2).
+It owns:
+
+* the tunnel table (remote host prefix → available tunnels),
+* the sender program (selection + timestamp + encapsulation) and the
+  receiver program (measurement + decapsulation),
+* two measurement stores with deliberately distinct roles:
+  ``inbound`` holds delays this gateway *measured* on packets it received
+  (the peer's outbound paths); ``outbound`` holds delays the *peer*
+  measured on our transmissions, mirrored back to us — this is the store
+  our forwarding policies read.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Optional
+
+from ..dataplane.programs import TangoReceiverProgram, TangoSenderProgram
+from ..dataplane.seqnum import SequenceTracker
+from ..netsim.node import ProgrammableSwitch
+from ..netsim.packet import TangoHeader
+from ..telemetry.auth import TelemetryAuthenticator
+from ..telemetry.loss import LossMonitor
+from ..telemetry.store import MeasurementStore
+from .config import EdgeConfig
+from .policy import StaticSelector
+from .tunnels import TangoTunnel, TunnelTable
+
+__all__ = ["TangoGateway"]
+
+
+class TangoGateway:
+    """Tango state and programs bound to one border switch.
+
+    Args:
+        switch: the programmable switch at this edge's border.  The
+            gateway attaches its receiver program at ingress and its
+            sender program at egress.
+        config: this edge's static configuration.
+        auth_key: non-empty enables authenticated telemetry both ways.
+    """
+
+    def __init__(
+        self,
+        switch: ProgrammableSwitch,
+        config: EdgeConfig,
+        auth_key: bytes = b"",
+    ) -> None:
+        self.switch = switch
+        self.config = config
+        self.tunnel_table = TunnelTable()
+        self.inbound = MeasurementStore()
+        self.outbound = MeasurementStore()
+        self.tracker = SequenceTracker()
+        self.loss_monitor = LossMonitor(self.tracker)
+        authenticator: Optional[TelemetryAuthenticator] = None
+        if auth_key:
+            authenticator = TelemetryAuthenticator(auth_key)
+        self.authenticator = authenticator
+        self.receiver = TangoReceiverProgram(
+            local_endpoints=(),
+            on_measurement=self._on_measurement,
+            tracker=self.tracker,
+            authenticator=authenticator,
+        )
+        self.sender = TangoSenderProgram(
+            tunnel_lookup=self.tunnel_table.tunnels_for,
+            selector=StaticSelector(0),
+            authenticator=authenticator,
+        )
+        switch.attach_ingress(self.receiver)
+        switch.attach_egress(self.sender)
+        # Every local route prefix hosts a tunnel endpoint by convention.
+        for index in range(len(config.route_prefixes)):
+            self.receiver.add_endpoint(config.tunnel_endpoint(index))
+
+    # -- wiring -----------------------------------------------------------------
+
+    def install_tunnels(
+        self,
+        remote_host_prefix: ipaddress.IPv6Network,
+        tunnels: list[TangoTunnel],
+    ) -> None:
+        """Make ``tunnels`` available for traffic to ``remote_host_prefix``."""
+        for tunnel in tunnels:
+            self.tunnel_table.add(remote_host_prefix, tunnel)
+
+    def set_selector(self, selector) -> None:
+        """Swap the forwarding policy (takes effect on the next packet)."""
+        self.sender.selector = selector
+
+    @property
+    def selector(self):
+        return self.sender.selector
+
+    # -- measurement plumbing -----------------------------------------------------
+
+    def _on_measurement(
+        self, path_id: int, t: float, owd_s: float, _header: TangoHeader
+    ) -> None:
+        self.inbound.record(path_id, t, owd_s)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def tunnel_report(self, window_s: float = 5.0) -> list[dict]:
+        """Per-tunnel snapshot: label, outbound delay, loss — for humans."""
+        now = self.switch.sim.now
+        rows = []
+        for tunnel in self.tunnel_table.all_tunnels():
+            delay = self.outbound.recent_delay(tunnel.path_id, window_s, now)
+            stats = self.tracker.stats_for(tunnel.path_id)
+            rows.append(
+                {
+                    "path_id": tunnel.path_id,
+                    "label": tunnel.label,
+                    "outbound_delay_ms": None if delay is None else delay * 1e3,
+                    "inbound_received": stats.received,
+                    "inbound_loss_fraction": stats.loss_fraction,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"TangoGateway({self.config.name}, switch={self.switch.name}, "
+            f"tunnels={len(self.tunnel_table)})"
+        )

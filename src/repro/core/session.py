@@ -1,0 +1,222 @@
+"""A Tango pairing: control-plane establishment plus telemetry mirroring.
+
+"It takes two": a :class:`TangoSession` joins two gateways.  Establishment
+runs the paper's Section 4.1 procedure for both directions:
+
+1. announce both edges' *host* prefixes plainly (reachability for
+   everyone, including non-Tango endpoints);
+2. run iterative suppression discovery in each direction;
+3. pin each discovered path to one of the destination edge's route
+   prefixes by re-announcing that prefix with the path's community set;
+4. build the per-direction tunnels and install them in the gateways.
+
+The session also owns the cooperative feedback loop the paper's routing
+component needs: one-way delays are *measured at the receiver*, but the
+routing decision for that direction is made at the *sender*.  A
+:class:`TelemetryMirror` therefore periodically replays each gateway's
+inbound measurements into its peer's outbound store — in deployment this
+report rides piggybacked on reverse-direction traffic, so the cost is
+freshness (one report interval plus the reverse path delay), not packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..bgp.attributes import RouteAttributes
+from ..bgp.network import BgpNetwork
+from ..netsim.events import Simulator
+from ..telemetry.store import MeasurementStore
+from .config import PairingConfig
+from .discovery import DiscoveryResult, PathDiscovery
+from .gateway import TangoGateway
+from .tunnels import TangoTunnel, build_tunnels
+
+__all__ = ["TelemetryMirror", "SessionState", "TangoSession"]
+
+#: Path-id bases for the two directions of a pairing.
+DIRECTION_A_TO_B = 0
+DIRECTION_B_TO_A = 64
+
+
+class TelemetryMirror:
+    """Replays one store's new samples into another, with latency.
+
+    Samples keep their original timestamps; a sample taken at time ``t``
+    becomes visible in the sink once the mirror runs at or after
+    ``t + latency_s``.  That models a report piggybacked on reverse
+    traffic: the information is as fresh as the reverse path allows.
+    """
+
+    def __init__(
+        self,
+        source: MeasurementStore,
+        sink: MeasurementStore,
+        latency_s: float = 0.0,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.source = source
+        self.sink = sink
+        self.latency_s = latency_s
+        self._copied: dict[int, int] = {}
+        self.samples_mirrored = 0
+
+    def sync(self, now: float) -> int:
+        """Copy every source sample older than the latency horizon.
+
+        Returns:
+            Number of samples copied this call.
+        """
+        horizon = now - self.latency_s
+        copied = 0
+        for path_id in self.source.path_ids():
+            series = self.source.series(path_id)
+            start = self._copied.get(path_id, 0)
+            times = series.times
+            end = int(np.searchsorted(times, horizon, side="right"))
+            if end <= start:
+                continue
+            self.sink.extend(path_id, times[start:end], series.values[start:end])
+            self._copied[path_id] = end
+            copied += end - start
+        self.samples_mirrored += copied
+        return copied
+
+
+@dataclass
+class SessionState:
+    """Everything establishment produced."""
+
+    discovery_a_to_b: DiscoveryResult
+    discovery_b_to_a: DiscoveryResult
+    tunnels_a_to_b: list[TangoTunnel]
+    tunnels_b_to_a: list[TangoTunnel]
+
+    @property
+    def path_counts(self) -> tuple[int, int]:
+        return (len(self.tunnels_a_to_b), len(self.tunnels_b_to_a))
+
+
+class TangoSession:
+    """The cooperative pairing between two Tango gateways."""
+
+    def __init__(
+        self,
+        pairing: PairingConfig,
+        bgp: BgpNetwork,
+        gateway_a: TangoGateway,
+        gateway_b: TangoGateway,
+        sim: Simulator,
+    ) -> None:
+        if gateway_a.config.name != pairing.a.name:
+            raise ValueError("gateway_a does not match pairing.a")
+        if gateway_b.config.name != pairing.b.name:
+            raise ValueError("gateway_b does not match pairing.b")
+        self.pairing = pairing
+        self.bgp = bgp
+        self.gateway_a = gateway_a
+        self.gateway_b = gateway_b
+        self.sim = sim
+        self.state: Optional[SessionState] = None
+        self._mirror_tasks = []
+
+    # -- control plane ------------------------------------------------------------
+
+    def establish(self, max_paths: int = 16) -> SessionState:
+        """Run both directions' discovery and wire up the tunnels."""
+        a, b = self.pairing.a, self.pairing.b
+
+        # Step 0: host prefixes are plain announcements.
+        self.bgp.router(a.tenant_router).originate(a.host_prefix)
+        self.bgp.router(b.tenant_router).originate(b.host_prefix)
+        self.bgp.converge()
+
+        # Discovery per direction.  The destination edge announces; the
+        # source edge observes (paths carry source -> destination traffic).
+        discovery_ab = PathDiscovery(self.bgp, b.provider_asn).discover(
+            announcer=b.tenant_router,
+            observer=a.tenant_router,
+            probe_prefix=b.route_prefixes[0],
+            max_paths=max_paths,
+        )
+        discovery_ba = PathDiscovery(self.bgp, a.provider_asn).discover(
+            announcer=a.tenant_router,
+            observer=b.tenant_router,
+            probe_prefix=a.route_prefixes[0],
+            max_paths=max_paths,
+        )
+
+        # Pin each path to a route prefix by announcing with its communities.
+        self._pin_route_prefixes(b, discovery_ab)
+        self._pin_route_prefixes(a, discovery_ba)
+        self.bgp.converge()
+
+        tunnels_ab = build_tunnels(
+            discovery_ab.paths,
+            local_route_prefixes=a.route_prefixes,
+            remote_route_prefixes=b.route_prefixes,
+            direction_base=DIRECTION_A_TO_B,
+        )
+        tunnels_ba = build_tunnels(
+            discovery_ba.paths,
+            local_route_prefixes=b.route_prefixes,
+            remote_route_prefixes=a.route_prefixes,
+            direction_base=DIRECTION_B_TO_A,
+        )
+        self.gateway_a.install_tunnels(b.host_prefix, tunnels_ab)
+        self.gateway_b.install_tunnels(a.host_prefix, tunnels_ba)
+        self.state = SessionState(
+            discovery_a_to_b=discovery_ab,
+            discovery_b_to_a=discovery_ba,
+            tunnels_a_to_b=tunnels_ab,
+            tunnels_b_to_a=tunnels_ba,
+        )
+        return self.state
+
+    def _pin_route_prefixes(self, edge, discovery: DiscoveryResult) -> None:
+        """Announce the destination edge's route prefixes, one per path."""
+        router = self.bgp.router(edge.tenant_router)
+        for path in discovery.paths:
+            router.originate(
+                edge.route_prefixes[path.index],
+                RouteAttributes().add_communities(large=path.communities),
+            )
+
+    # -- telemetry feedback ----------------------------------------------------------
+
+    def start_telemetry_mirrors(self) -> tuple[TelemetryMirror, TelemetryMirror]:
+        """Begin the cooperative measurement feedback loop.
+
+        Mirror latency is the report interval (piggyback freshness); the
+        reverse-path propagation component is dominated by it at the
+        paper's parameters.
+        """
+        latency = self.pairing.report_interval_s
+        mirror_to_a = TelemetryMirror(
+            source=self.gateway_b.inbound,
+            sink=self.gateway_a.outbound,
+            latency_s=latency,
+        )
+        mirror_to_b = TelemetryMirror(
+            source=self.gateway_a.inbound,
+            sink=self.gateway_b.outbound,
+            latency_s=latency,
+        )
+        interval = self.pairing.report_interval_s
+        self._mirror_tasks.append(
+            self.sim.call_every(interval, lambda: mirror_to_a.sync(self.sim.now))
+        )
+        self._mirror_tasks.append(
+            self.sim.call_every(interval, lambda: mirror_to_b.sync(self.sim.now))
+        )
+        return mirror_to_a, mirror_to_b
+
+    def stop(self) -> None:
+        """Stop mirror tasks (teardown)."""
+        for task in self._mirror_tasks:
+            task.stop()
+        self._mirror_tasks.clear()

@@ -1,0 +1,160 @@
+"""Prefixes as routes: the Tango tunnel table.
+
+Tango's central trick (paper Section 3): instead of multiple routes to one
+prefix (which needs core cooperation), announce *multiple prefixes*, each
+propagating over a different wide-area path, and tunnel traffic to an
+endpoint address inside the prefix whose path you want.  Host addressing
+lives in separate prefixes, so a border switch seeing traffic for the
+remote edge's host prefix picks a tunnel — a performance-driven,
+per-packet source-routing decision the core never learns about.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bgp.attributes import LargeCommunity
+from ..netsim.packet import TANGO_UDP_PORT
+from .discovery import DiscoveredPath
+
+__all__ = ["TangoTunnel", "TunnelTable", "build_tunnels"]
+
+
+@dataclass(frozen=True)
+class TangoTunnel:
+    """One unidirectional tunnel, bound to one wide-area path.
+
+    Attributes:
+        path_id: globally unique id carried in the Tango header.
+        label: human-readable path name ("GTT", "NTT Cogent", ...).
+        local_endpoint: outer source address (in a local route prefix).
+        remote_endpoint: outer destination address (in the remote edge's
+            route prefix pinned to this path) — choosing it chooses the
+            path.
+        remote_prefix: the remote route prefix, for FIB bookkeeping.
+        transit_asns: the path's transit view, for reports.
+        communities: communities the remote edge keeps attached to pin
+            the prefix to this path.
+        sport: tunnel UDP source port.  Unique per tunnel so each tunnel
+            is one stable ECMP flow, distinct from its siblings.
+    """
+
+    path_id: int
+    label: str
+    local_endpoint: ipaddress.IPv6Address
+    remote_endpoint: ipaddress.IPv6Address
+    remote_prefix: ipaddress.IPv6Network
+    transit_asns: tuple[int, ...] = ()
+    communities: frozenset[LargeCommunity] = frozenset()
+    sport: int = TANGO_UDP_PORT
+    short_label: str = ""
+
+    @property
+    def is_default_path(self) -> bool:
+        """Tunnels are created in discovery order; id 0 per direction is
+        the BGP-default path (set by :func:`build_tunnels`)."""
+        return self.path_id % _PATH_ID_STRIDE == 0
+
+
+#: path ids are allocated as direction_base + index; stride keeps the two
+#: directions of a pairing (and multiple pairings) disjoint.
+_PATH_ID_STRIDE = 64
+
+
+class TunnelTable:
+    """Maps remote host prefixes to their available tunnels.
+
+    This is the "statically configured table" of the paper: both endpoints
+    cooperate, so each side simply knows which host prefixes live behind
+    the other's Tango switch.
+    """
+
+    def __init__(self) -> None:
+        self._by_prefix: dict[ipaddress.IPv6Network, list[TangoTunnel]] = {}
+        self._by_id: dict[int, TangoTunnel] = {}
+
+    def add(self, remote_host_prefix: ipaddress.IPv6Network, tunnel: TangoTunnel) -> None:
+        """Register ``tunnel`` as a way to reach ``remote_host_prefix``."""
+        if tunnel.path_id in self._by_id:
+            raise ValueError(f"duplicate tunnel path_id {tunnel.path_id}")
+        self._by_prefix.setdefault(remote_host_prefix, []).append(tunnel)
+        self._by_id[tunnel.path_id] = tunnel
+
+    def tunnels_for(self, dst: ipaddress.IPv6Address) -> list[TangoTunnel]:
+        """Tunnels toward the Tango edge hosting ``dst`` ([] if none)."""
+        for prefix, tunnels in self._by_prefix.items():
+            if dst in prefix:
+                return tunnels
+        return []
+
+    def by_id(self, path_id: int) -> Optional[TangoTunnel]:
+        return self._by_id.get(path_id)
+
+    def all_tunnels(self) -> list[TangoTunnel]:
+        return [self._by_id[k] for k in sorted(self._by_id)]
+
+    def prefixes(self) -> list[ipaddress.IPv6Network]:
+        return list(self._by_prefix)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+
+def build_tunnels(
+    paths: tuple[DiscoveredPath, ...],
+    local_route_prefixes: tuple[ipaddress.IPv6Network, ...],
+    remote_route_prefixes: tuple[ipaddress.IPv6Network, ...],
+    direction_base: int,
+    sport_base: int = 40000,
+) -> list[TangoTunnel]:
+    """Turn one direction's discovered paths into tunnels.
+
+    Path ``i`` uses the remote edge's ``i``-th route prefix (which the
+    remote edge announces with that path's pinned communities) and the
+    local ``i``-th route prefix as the return address.
+
+    Args:
+        paths: discovery output, in preference order.
+        local_route_prefixes: this (sending) edge's route prefixes.
+        remote_route_prefixes: the receiving edge's route prefixes.
+        direction_base: base path id for this direction — use
+            ``direction_index * 64`` so ids never collide.
+        sport_base: first UDP source port; tunnel ``i`` gets ``base + i``.
+
+    Raises:
+        ValueError: when an edge exposed fewer route prefixes than
+            discovery found paths (the prototype's answer was "allocate
+            more /48s"; ours is a loud error).
+    """
+    if len(paths) > len(remote_route_prefixes):
+        raise ValueError(
+            f"{len(paths)} paths discovered but only "
+            f"{len(remote_route_prefixes)} remote route prefixes available"
+        )
+    if len(paths) > len(local_route_prefixes):
+        raise ValueError(
+            f"{len(paths)} paths discovered but only "
+            f"{len(local_route_prefixes)} local route prefixes available"
+        )
+    if direction_base % _PATH_ID_STRIDE != 0:
+        raise ValueError(
+            f"direction_base must be a multiple of {_PATH_ID_STRIDE}"
+        )
+    tunnels = []
+    for path in paths:
+        tunnels.append(
+            TangoTunnel(
+                path_id=direction_base + path.index,
+                label=path.label,
+                local_endpoint=local_route_prefixes[path.index][1],
+                remote_endpoint=remote_route_prefixes[path.index][1],
+                remote_prefix=remote_route_prefixes[path.index],
+                transit_asns=path.transit_asns,
+                communities=path.communities,
+                sport=sport_base + path.index,
+                short_label=path.short_label,
+            )
+        )
+    return tunnels

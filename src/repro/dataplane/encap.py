@@ -1,0 +1,113 @@
+"""Tango tunnel encapsulation and decapsulation.
+
+The encapsulation format follows the paper's Section 3/4.2 exactly: an
+outer IP header whose *destination address selects the wide-area route*
+(each Tango prefix propagates over a distinct AS path), a UDP header with
+a fixed 5-tuple (pinning ECMP), and a Tango header carrying the sender
+wall-clock timestamp, a per-tunnel sequence number, and a path id.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Optional, Union
+
+from ..netsim.packet import (
+    TANGO_UDP_PORT,
+    Ipv6Header,
+    Packet,
+    TangoHeader,
+    UdpHeader,
+)
+
+__all__ = [
+    "TunnelDecapError",
+    "encapsulate",
+    "decapsulate",
+    "is_tango_encapsulated",
+    "TUNNEL_OVERHEAD_BYTES",
+]
+
+#: Fixed per-packet tunnel tax for IPv6 outer encapsulation (40 + 8 + 16).
+TUNNEL_OVERHEAD_BYTES = (
+    Ipv6Header.WIRE_BYTES + UdpHeader.WIRE_BYTES + TangoHeader.WIRE_BYTES
+)
+
+
+class TunnelDecapError(ValueError):
+    """Raised when a packet presented for decapsulation is not a
+    well-formed Tango tunnel packet."""
+
+
+def encapsulate(
+    packet: Packet,
+    src: Union[str, ipaddress.IPv6Address],
+    dst: Union[str, ipaddress.IPv6Address],
+    path_id: int,
+    timestamp_ns: int,
+    seq: int,
+    sport: int = TANGO_UDP_PORT,
+    dport: int = TANGO_UDP_PORT,
+    auth_tag: Optional[bytes] = None,
+) -> Packet:
+    """Wrap ``packet`` in a Tango tunnel toward ``dst``.
+
+    Args:
+        packet: the inner (host-addressed) packet; mutated in place.
+        src: tunnel source — an address in the local edge's route prefix
+            for this path.
+        dst: tunnel destination — an address in the remote edge's route
+            prefix for this path; this choice *is* the routing decision.
+        path_id: Tango path identifier carried for attribution.
+        timestamp_ns: sender wall-clock timestamp.
+        seq: per-tunnel sequence number.
+        sport, dport: tunnel UDP ports.  All packets of a tunnel share
+            them, so core ECMP sees one flow.
+        auth_tag: optional authenticated-telemetry MAC.
+
+    Returns:
+        The same packet object with three headers pushed.
+    """
+    tango = TangoHeader(
+        timestamp_ns=timestamp_ns, seq=seq, path_id=path_id, auth_tag=auth_tag
+    )
+    packet.push(tango)
+    packet.push(UdpHeader(sport=sport, dport=dport))
+    packet.push(
+        Ipv6Header(
+            src=ipaddress.IPv6Address(src) if isinstance(src, str) else src,
+            dst=ipaddress.IPv6Address(dst) if isinstance(dst, str) else dst,
+        )
+    )
+    return packet
+
+
+def is_tango_encapsulated(packet: Packet) -> bool:
+    """True when the packet's outer headers form a Tango tunnel."""
+    if len(packet.headers) < 3:
+        return False
+    outer, udp, tango = packet.headers[0], packet.headers[1], packet.headers[2]
+    return (
+        isinstance(outer, Ipv6Header)  # the prototype tunnels over IPv6
+        and isinstance(udp, UdpHeader)
+        and udp.dport == TANGO_UDP_PORT
+        and isinstance(tango, TangoHeader)
+    )
+
+
+def decapsulate(packet: Packet) -> tuple[Packet, TangoHeader, Ipv6Header]:
+    """Strip the tunnel headers, returning (inner packet, tango, outer IP).
+
+    Raises:
+        TunnelDecapError: if the packet is not Tango-encapsulated.
+    """
+    if not is_tango_encapsulated(packet):
+        raise TunnelDecapError(
+            f"packet {packet.packet_id} is not a Tango tunnel packet: "
+            f"{[type(h).__name__ for h in packet.headers[:3]]}"
+        )
+    outer = packet.pop()
+    packet.pop()  # UDP
+    tango = packet.pop()
+    assert isinstance(tango, TangoHeader) and isinstance(outer, Ipv6Header)
+    return packet, tango, outer

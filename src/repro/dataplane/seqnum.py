@@ -1,0 +1,123 @@
+"""Per-tunnel sequence numbers: loss and reordering detection.
+
+The paper (Section 3): "adding tunnel-specific sequence numbers on packets
+can allow Tango to additionally compute loss and reordering."  The sender
+stamps a monotonically increasing sequence per tunnel; the receiver tracks
+gaps (presumed losses) and late arrivals (reordering), reconciling a
+presumed loss back into a reordering event if the packet shows up late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SequenceStamper", "SequenceTracker", "SequenceStats"]
+
+
+class SequenceStamper:
+    """Sender side: hands out the next sequence number per path."""
+
+    def __init__(self) -> None:
+        self._next: dict[int, int] = {}
+
+    def next_for(self, path_id: int) -> int:
+        """Next sequence number for ``path_id`` (starts at 0)."""
+        value = self._next.get(path_id, 0)
+        self._next[path_id] = value + 1
+        return value
+
+    def current(self, path_id: int) -> int:
+        """How many packets have been stamped on ``path_id``."""
+        return self._next.get(path_id, 0)
+
+
+@dataclass
+class SequenceStats:
+    """Receiver-side counters for one path."""
+
+    received: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    presumed_lost: int = 0
+    highest_seen: int = -1
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of sent packets (by sequence space) presumed lost."""
+        sent = self.highest_seen + 1
+        if sent <= 0:
+            return 0.0
+        return self.presumed_lost / sent
+
+    @property
+    def reorder_fraction(self) -> float:
+        if self.received == 0:
+            return 0.0
+        return self.reordered / self.received
+
+
+@dataclass
+class _PathState:
+    stats: SequenceStats = field(default_factory=SequenceStats)
+    missing: set[int] = field(default_factory=set)
+
+
+class SequenceTracker:
+    """Receiver side: classifies arrivals per path.
+
+    Semantics (per path):
+
+    * An arrival above ``highest_seen`` opens a gap: the skipped sequence
+      numbers become *presumed lost*.
+    * An arrival inside a known gap is a *reordering*: the presumed loss
+      is reconciled away.
+    * An arrival at or below ``highest_seen`` that is not in a gap is a
+      *duplicate*.
+
+    The missing-set is unbounded in theory; ``max_gap_tracking`` bounds it
+    (oldest entries are forgotten and remain counted as lost), which is
+    what a switch implementation with finite state would do.
+    """
+
+    def __init__(self, max_gap_tracking: int = 4096) -> None:
+        if max_gap_tracking <= 0:
+            raise ValueError("max_gap_tracking must be positive")
+        self._paths: dict[int, _PathState] = {}
+        self._max_gap_tracking = max_gap_tracking
+
+    def observe(self, path_id: int, seq: int) -> str:
+        """Record an arrival.  Returns its classification:
+        ``"in-order"``, ``"reordered"``, or ``"duplicate"``.
+        """
+        state = self._paths.setdefault(path_id, _PathState())
+        stats = state.stats
+        stats.received += 1
+        if seq > stats.highest_seen:
+            for gap_seq in range(stats.highest_seen + 1, seq):
+                state.missing.add(gap_seq)
+                stats.presumed_lost += 1
+            stats.highest_seen = seq
+            self._trim(state)
+            return "in-order"
+        if seq in state.missing:
+            state.missing.discard(seq)
+            stats.presumed_lost -= 1
+            stats.reordered += 1
+            return "reordered"
+        stats.duplicates += 1
+        return "duplicate"
+
+    def _trim(self, state: _PathState) -> None:
+        if len(state.missing) <= self._max_gap_tracking:
+            return
+        overflow = len(state.missing) - self._max_gap_tracking
+        for seq in sorted(state.missing)[:overflow]:
+            state.missing.discard(seq)
+
+    def stats_for(self, path_id: int) -> SequenceStats:
+        """Counters for one path (zeros if never seen)."""
+        state = self._paths.get(path_id)
+        return state.stats if state else SequenceStats()
+
+    def all_paths(self) -> dict[int, SequenceStats]:
+        return {path_id: s.stats for path_id, s in self._paths.items()}

@@ -1,0 +1,393 @@
+"""Stochastic one-way-delay processes for simulated wide-area paths.
+
+The paper measures real transit networks (NTT, Telia, GTT, Cogent, Level3)
+between two Vultr datacenters.  We cannot reach those networks, so each
+AS-level path is driven by a *delay process*: a deterministic function from
+time to one-way delay, built from a base propagation delay, Gaussian jitter,
+an optional diurnal swell, and injected events (route changes, instability
+windows) that reproduce the paper's Figure 4 phenomenology.
+
+Design requirements, and how they are met:
+
+* **Determinism at arbitrary times.**  Measurement campaigns sample the
+  process at millions of points, and benchmarks must be reproducible.  We
+  derive per-sample noise from a counter-based generator (SplitMix64 over
+  ``(seed, quantized time)``), so ``delay_at(t)`` is a pure function —
+  no RNG state, no order dependence, and vectorized evaluation over numpy
+  arrays is exact, not approximate.
+* **Composability.**  A path's process is a :class:`CompositeDelay` of a
+  base model plus any number of :class:`DelayEvent` overlays, mirroring how
+  the paper narrates its traces (steady path + route change + instability).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy.special import ndtri
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "GaussianJitterDelay",
+    "DiurnalVariation",
+    "SpikeProcess",
+    "DelayEvent",
+    "RouteChangeEvent",
+    "InstabilityEvent",
+    "AsymmetryEvent",
+    "CompositeDelay",
+    "deterministic_uniform",
+    "deterministic_normal",
+]
+
+#: Grid onto which sample times are quantized before hashing.  Finer than
+#: the paper's 10 ms probe interval so consecutive probes always draw fresh
+#: noise.
+_NOISE_QUANTUM = 1e-4
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer: uint64 -> well-mixed uint64.
+
+    uint64 wraparound is the point of the algorithm, so numpy's overflow
+    warning is suppressed locally.
+    """
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(
+            0xFFFFFFFFFFFFFFFF
+        )
+        x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & np.uint64(
+            0xFFFFFFFFFFFFFFFF
+        )
+        return x ^ (x >> np.uint64(31))
+
+
+def _time_indices(times: np.ndarray) -> np.ndarray:
+    """Quantize times (seconds) to noise-grid indices."""
+    return np.floor(np.asarray(times, dtype=np.float64) / _NOISE_QUANTUM).astype(
+        np.int64
+    )
+
+
+def deterministic_uniform(seed: int, times: np.ndarray) -> np.ndarray:
+    """Uniform(0, 1) noise that is a pure function of (seed, time).
+
+    Args:
+        seed: stream identifier; different paths use different seeds.
+        times: array of sample times in seconds.
+
+    Returns:
+        Array of floats in the open interval (0, 1) — never exactly 0 or 1,
+        so it can feed the normal inverse CDF safely.
+    """
+    idx = _time_indices(times).astype(np.uint64)
+    mixed = _splitmix64(idx ^ _splitmix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF)))
+    # 53-bit mantissa precision, shifted into (0, 1).
+    u = (mixed >> np.uint64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+    return np.clip(u, 1e-12, 1.0 - 1e-12)
+
+
+def deterministic_normal(seed: int, times: np.ndarray) -> np.ndarray:
+    """Standard-normal noise that is a pure function of (seed, time)."""
+    return ndtri(deterministic_uniform(seed, times))
+
+
+class DelayModel(ABC):
+    """A one-way-delay process: time (seconds) -> delay (seconds)."""
+
+    @abstractmethod
+    def delays(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation: delay for each sample time."""
+
+    def delay_at(self, t: float) -> float:
+        """Scalar evaluation, used on the packet-level forwarding path."""
+        return float(self.delays(np.asarray([t], dtype=np.float64))[0])
+
+    @property
+    @abstractmethod
+    def floor(self) -> float:
+        """Minimum achievable delay (propagation floor), in seconds."""
+
+
+@dataclass(frozen=True)
+class ConstantDelay(DelayModel):
+    """A fixed delay — ideal fiber, used in tests and intra-edge links."""
+
+    base: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"delay must be non-negative, got {self.base}")
+
+    def delays(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.shape(times), self.base, dtype=np.float64)
+
+    @property
+    def floor(self) -> float:
+        return self.base
+
+
+@dataclass(frozen=True)
+class GaussianJitterDelay(DelayModel):
+    """Base propagation delay plus zero-mean Gaussian jitter.
+
+    The paper quantifies sub-second jitter as the mean standard deviation of
+    a one-second rolling window of one-way delays; for this process that
+    statistic converges to ``sigma``, which makes calibration to the
+    reported numbers (GTT 0.01 ms, Telia 0.33 ms) direct.
+
+    Delays are clipped from below at ``floor`` (no faster-than-light
+    samples); with the calibrated sigmas, clipping essentially never fires.
+    """
+
+    base: float
+    sigma: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base delay must be non-negative, got {self.base}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        noise = deterministic_normal(self.seed, times) * self.sigma
+        return np.maximum(self.base + noise, self.floor)
+
+    @property
+    def floor(self) -> float:
+        # Allow a little downside so the distribution isn't one-sided, but
+        # never below 90% of base (propagation cannot be beaten).
+        return self.base * 0.9 if self.sigma > 0 else self.base
+
+
+@dataclass(frozen=True)
+class DiurnalVariation(DelayModel):
+    """Sinusoidal slow swell modeling daily congestion cycles.
+
+    Added on top of a base model via :class:`CompositeDelay`; evaluates to
+    a non-negative offset with mean ``amplitude / 2``.
+    """
+
+    amplitude: float
+    period: float = 86400.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be non-negative, got {self.amplitude}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+
+    def delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        swing = np.sin(2.0 * math.pi * (times / self.period) + self.phase)
+        return (swing + 1.0) * (self.amplitude / 2.0)
+
+    @property
+    def floor(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class SpikeProcess(DelayModel):
+    """Sparse random delay spikes (transient queue build-ups).
+
+    Each quantized sample independently spikes with probability
+    ``rate_per_second * quantum``; spike magnitudes are uniform in
+    ``(min_magnitude, max_magnitude)``.
+    """
+
+    rate_per_second: float
+    min_magnitude: float
+    max_magnitude: float
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second < 0:
+            raise ValueError("rate_per_second must be non-negative")
+        if not 0 <= self.min_magnitude <= self.max_magnitude:
+            raise ValueError(
+                "need 0 <= min_magnitude <= max_magnitude, got "
+                f"{self.min_magnitude}, {self.max_magnitude}"
+            )
+
+    def delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        probability = min(self.rate_per_second * _NOISE_QUANTUM, 1.0)
+        gate = deterministic_uniform(self.seed, times) < probability
+        magnitude = deterministic_uniform(self.seed + 1, times)
+        spikes = self.min_magnitude + magnitude * (
+            self.max_magnitude - self.min_magnitude
+        )
+        return np.where(gate, spikes, 0.0)
+
+    @property
+    def floor(self) -> float:
+        return 0.0
+
+
+class DelayEvent(ABC):
+    """A time-windowed overlay added to a path's base delay process."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_during(self, t0: float, t1: float) -> bool:
+        """True if the event window overlaps [t0, t1)."""
+        return self.start < t1 and t0 < self.end
+
+    @abstractmethod
+    def extra_delays(self, times: np.ndarray) -> np.ndarray:
+        """Additional delay contributed at each sample time."""
+
+
+@dataclass(frozen=True)
+class RouteChangeEvent(DelayEvent):
+    """An intra-provider route change (paper Fig. 4, middle).
+
+    The paper observed GTT's route at hour ~121.25: a brief period of
+    erratic delay during convergence, then a new stable minimum ``shift``
+    seconds higher, persisting ~10 minutes before reverting to the original
+    path.
+
+    Timeline (relative to ``start``):
+        [0, transition)              erratic extra delay in (0, churn_max)
+        [transition, duration)       constant +shift
+        [duration, ...)              back to zero
+    """
+
+    start: float
+    duration: float = 600.0
+    shift: float = 5e-3
+    transition: float = 30.0
+    churn_max: float = 10e-3
+    seed: int = 2
+
+    def __post_init__(self) -> None:
+        if self.transition > self.duration:
+            raise ValueError("transition period cannot exceed event duration")
+
+    def extra_delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        rel = times - self.start
+        extra = np.zeros_like(times)
+        in_transition = (rel >= 0) & (rel < self.transition)
+        in_plateau = (rel >= self.transition) & (rel < self.duration)
+        if np.any(in_transition):
+            churn = deterministic_uniform(self.seed, times[in_transition])
+            extra[in_transition] = churn * self.churn_max
+        extra[in_plateau] = self.shift
+        return extra
+
+
+@dataclass(frozen=True)
+class InstabilityEvent(DelayEvent):
+    """A period of network instability with latency spikes (Fig. 4, right).
+
+    The paper's event lasts ~5 minutes on GTT: minor increases in one-way
+    delay punctuated by major spikes reaching 78 ms against a 28 ms floor —
+    while all other paths stay quiet.  ``spike_probability`` is the chance
+    that any quantized sample inside the window is a major spike; remaining
+    samples get a minor uniform bump.
+    """
+
+    start: float
+    duration: float = 300.0
+    spike_probability: float = 0.02
+    spike_min: float = 10e-3
+    spike_max: float = 50e-3
+    minor_max: float = 2e-3
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.spike_probability <= 1:
+            raise ValueError("spike_probability must be in [0, 1]")
+        if not 0 <= self.spike_min <= self.spike_max:
+            raise ValueError("need 0 <= spike_min <= spike_max")
+
+    def extra_delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        rel = times - self.start
+        inside = (rel >= 0) & (rel < self.duration)
+        extra = np.zeros_like(times)
+        if not np.any(inside):
+            return extra
+        window = times[inside]
+        is_spike = deterministic_uniform(self.seed, window) < self.spike_probability
+        magnitude = deterministic_uniform(self.seed + 1, window)
+        spikes = self.spike_min + magnitude * (self.spike_max - self.spike_min)
+        minor = deterministic_uniform(self.seed + 2, window) * self.minor_max
+        extra[inside] = np.where(is_spike, spikes, minor)
+        return extra
+
+
+@dataclass(frozen=True)
+class AsymmetryEvent(DelayEvent):
+    """A constant delay increase in *one direction only*.
+
+    Used by the one-way-vs-RTT ablation (DESIGN.md E7): applied to the
+    forward process but not the reverse, it is invisible to RTT/2 probing
+    when paired with an equal decrease on the reverse path, yet obvious to
+    Tango's one-way measurements.
+    """
+
+    start: float
+    duration: float
+    shift: float
+
+    def extra_delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        rel = times - self.start
+        inside = (rel >= 0) & (rel < self.duration)
+        return np.where(inside, self.shift, 0.0)
+
+
+@dataclass
+class CompositeDelay(DelayModel):
+    """Base process plus overlays: events, diurnal swell, spike noise.
+
+    This is the model every simulated wide-area path uses.  ``components``
+    are additional always-on processes (e.g. :class:`DiurnalVariation`),
+    ``events`` are time-windowed overlays.
+    """
+
+    base: DelayModel
+    components: Sequence[DelayModel] = field(default_factory=tuple)
+    events: Sequence[DelayEvent] = field(default_factory=tuple)
+
+    def delays(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        total = self.base.delays(times)
+        for component in self.components:
+            total = total + component.delays(times)
+        for event in self.events:
+            total = total + event.extra_delays(times)
+        return total
+
+    @property
+    def floor(self) -> float:
+        return self.base.floor
+
+    def with_event(self, event: DelayEvent) -> "CompositeDelay":
+        """Return a copy with one more event overlay."""
+        return CompositeDelay(
+            base=self.base,
+            components=tuple(self.components),
+            events=tuple(self.events) + (event,),
+        )
+
+    def events_overlapping(self, t0: float, t1: float) -> list[DelayEvent]:
+        """Events whose windows intersect [t0, t1); used by reports."""
+        return [e for e in self.events if e.active_during(t0, t1)]

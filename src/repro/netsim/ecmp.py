@@ -1,0 +1,44 @@
+"""ECMP hashing.
+
+Backbone routers spray flows over parallel equal-cost links by hashing the
+packet 5-tuple.  The paper's Section 3 points out why this is hostile to
+measurement: probes with varying ports land on *different* physical paths,
+so an end-to-end series blends several paths into one.  Tango defeats this
+by encapsulating all traffic of a tunnel in a single fixed UDP 5-tuple.
+
+The hash here is deterministic (no per-process randomization) so that
+experiments replay identically; the per-router ``salt`` models vendor hash
+seed diversity.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from .packet import FiveTuple
+
+__all__ = ["ecmp_hash", "select_index"]
+
+
+def ecmp_hash(five_tuple: FiveTuple, salt: int = 0) -> int:
+    """Deterministic 32-bit hash of a flow 5-tuple.
+
+    CRC32 over the canonical field encoding; real switches use CRC or
+    xor-fold hashes, so collision behaviour is comparable.
+    """
+    key = (
+        f"{five_tuple.src}|{five_tuple.dst}|{five_tuple.protocol}"
+        f"|{five_tuple.sport}|{five_tuple.dport}|{salt}"
+    )
+    return zlib.crc32(key.encode("ascii")) & 0xFFFFFFFF
+
+
+def select_index(five_tuple: FiveTuple, fanout: int, salt: int = 0) -> int:
+    """Pick one of ``fanout`` equal-cost next hops for this flow.
+
+    Raises:
+        ValueError: if ``fanout`` is not positive.
+    """
+    if fanout <= 0:
+        raise ValueError(f"fanout must be positive, got {fanout}")
+    return ecmp_hash(five_tuple, salt) % fanout

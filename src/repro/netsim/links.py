@@ -1,0 +1,201 @@
+"""Unidirectional links with delay, loss, and serialization.
+
+A :class:`Link` is the only way packets move between nodes.  Each link owns
+a :class:`~repro.netsim.delaymodels.DelayModel` (sampled at transmit time)
+and a :class:`LossModel`.  Both are deterministic functions of time, so a
+campaign replayed with the same seed drops exactly the same packets.
+
+Wide-area AS-level paths are modeled as single links whose delay process is
+the calibrated end-to-end one-way-delay of that path (see
+``repro.scenarios.vultr``); intra-edge hops use constant-delay links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from .delaymodels import DelayEvent, DelayModel, deterministic_uniform
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .events import Simulator
+    from .node import Node
+
+__all__ = ["LossModel", "ConstantLoss", "WindowedLoss", "Link", "LinkStats"]
+
+
+class LossModel:
+    """Base class: probability that a packet sent at time ``t`` is lost."""
+
+    def loss_probability(self, t: float) -> float:
+        raise NotImplementedError
+
+    def drops(self, seed: int, t: float, nonce: int = 0) -> bool:
+        """Deterministic Bernoulli draw for one transmission.
+
+        ``nonce`` (the link's transmission counter) decorrelates draws
+        for packets sent within the same time quantum — bursts must not
+        share one coin flip.
+        """
+        p = self.loss_probability(t)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        stream = (seed ^ (nonce * 0x9E3779B1)) & 0x7FFFFFFFFFFFFFFF
+        u = float(deterministic_uniform(stream, np.asarray([t]))[0])
+        return u < p
+
+
+@dataclass(frozen=True)
+class ConstantLoss(LossModel):
+    """Time-invariant random loss."""
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {self.rate}")
+
+    def loss_probability(self, t: float) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class WindowedLoss(LossModel):
+    """Baseline loss plus elevated loss inside event windows.
+
+    Instability periods in the paper coincide with latency spikes; elevated
+    loss during the same windows lets the loss/reordering telemetry see the
+    event too.
+    """
+
+    baseline: float = 0.0
+    elevated: float = 0.05
+    windows: Sequence[tuple[float, float]] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name, rate in (("baseline", self.baseline), ("elevated", self.elevated)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} loss rate must be in [0, 1], got {rate}")
+
+    @classmethod
+    def around_events(
+        cls, events: Sequence[DelayEvent], baseline: float = 0.0, elevated: float = 0.05
+    ) -> "WindowedLoss":
+        """Build windows matching a delay process's event overlays."""
+        return cls(
+            baseline=baseline,
+            elevated=elevated,
+            windows=tuple((e.start, e.end) for e in events),
+        )
+
+    def loss_probability(self, t: float) -> float:
+        for start, end in self.windows:
+            if start <= t < end:
+                return self.elevated
+        return self.baseline
+
+
+@dataclass
+class LinkStats:
+    """Counters every link keeps; cheap enough to be always on."""
+
+    transmitted: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_mtu: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.transmitted == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.transmitted
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``.
+
+    Args:
+        name: human-readable identifier used in traces and stats output.
+        src: transmitting node.
+        dst: receiving node.
+        delay: one-way delay process.
+        loss: loss process; defaults to lossless.
+        bandwidth_bps: if set, serialization delay ``bytes*8/bandwidth`` is
+            added per packet.  Wide-area links leave this None — the paper's
+            bottleneck phenomena are injected through the delay process.
+        mtu: maximum packet size in bytes; oversized packets are dropped
+            (and counted), which is how tunnel-overhead bugs surface.
+        seed: loss-draw stream identifier.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        src: "Node",
+        dst: "Node",
+        delay: DelayModel,
+        loss: Optional[LossModel] = None,
+        bandwidth_bps: Optional[float] = None,
+        mtu: int = 1500,
+        seed: int = 0,
+    ) -> None:
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if mtu <= 0:
+            raise ValueError(f"mtu must be positive, got {mtu}")
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.delay = delay
+        self.loss = loss or ConstantLoss(0.0)
+        self.bandwidth_bps = bandwidth_bps
+        self.mtu = mtu
+        self.seed = seed
+        self.stats = LinkStats()
+        self._drop_hook: Optional[Callable[[Packet, str], None]] = None
+
+    def on_drop(self, hook: Callable[[Packet, str], None]) -> None:
+        """Register a callback invoked as ``hook(packet, reason)`` on drops."""
+        self._drop_hook = hook
+
+    def transmit(self, sim: "Simulator", packet: Packet) -> bool:
+        """Send ``packet``; deliver it to ``dst`` after the sampled delay.
+
+        Returns:
+            True if the packet was scheduled for delivery, False if dropped
+            (loss or MTU).  Callers needing per-packet fate (e.g. the TCP
+            model) use the return value; fire-and-forget callers ignore it.
+        """
+        now = sim.now
+        self.stats.transmitted += 1
+        if packet.wire_bytes > self.mtu:
+            self.stats.dropped_mtu += 1
+            self._notify_drop(packet, "mtu")
+            return False
+        if self.loss.drops(self.seed, now, self.stats.transmitted):
+            self.stats.dropped_loss += 1
+            self._notify_drop(packet, "loss")
+            return False
+        latency = self.delay.delay_at(now)
+        if self.bandwidth_bps is not None:
+            latency += packet.wire_bytes * 8.0 / self.bandwidth_bps
+        sim.schedule_in(latency, lambda: self._deliver(packet))
+        return True
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.wire_bytes
+        self.dst.receive(packet, ingress=self)
+
+    def _notify_drop(self, packet: Packet, reason: str) -> None:
+        if self._drop_hook is not None:
+            self._drop_hook(packet, reason)
+
+    def __repr__(self) -> str:
+        return f"Link({self.name}: {self.src.name} -> {self.dst.name})"

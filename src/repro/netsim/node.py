@@ -1,0 +1,278 @@
+"""Forwarding nodes: hosts, routers, and programmable border switches.
+
+Three node flavours cover everything the reproduction needs:
+
+* :class:`HostNode` — traffic sources/sinks inside an edge network.
+* :class:`RouterNode` — longest-prefix-match forwarding with optional ECMP
+  groups; models both edge gateways and backbone routers.
+* :class:`ProgrammableSwitch` — a router that additionally runs ingress and
+  egress *programs* on every packet, the stand-in for the paper's
+  eBPF/programmable-switch data plane.  Tango's sender and receiver
+  programs (``repro.dataplane.programs``) attach here.
+
+Every node owns a :class:`~repro.netsim.simclock.NodeClock`; programs read
+wall-clock time only through it, which is how the unsynchronized-clock
+semantics of the paper are preserved end to end.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+from .ecmp import select_index
+from .packet import IPAddress, Packet
+from .simclock import NodeClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import Simulator
+    from .links import Link
+
+__all__ = [
+    "Fib",
+    "FibEntry",
+    "Node",
+    "HostNode",
+    "RouterNode",
+    "ProgrammableSwitch",
+    "NodeStats",
+]
+
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+#: A data-plane program: called as ``program(switch, packet)``; returns the
+#: (possibly re-encapsulated) packet to keep processing, or None to consume
+#: it (measurement extraction, drops).
+Program = Callable[["ProgrammableSwitch", Packet], Optional[Packet]]
+
+
+@dataclass
+class FibEntry:
+    """A FIB route: destination prefix -> one or more egress links."""
+
+    prefix: IPNetwork
+    links: list["Link"]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError(f"FIB entry for {self.prefix} has no egress links")
+
+
+class Fib:
+    """Longest-prefix-match forwarding table.
+
+    Small and explicit rather than trie-based: edge and backbone tables in
+    these experiments hold tens of routes, and an ordered scan keeps the
+    matching semantics obvious.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[FibEntry] = []
+
+    def add_route(
+        self, prefix: Union[str, IPNetwork], links: Union["Link", Sequence["Link"]]
+    ) -> FibEntry:
+        """Install (or replace) the route for ``prefix``.
+
+        Accepts a single link or a sequence (an ECMP group).
+        """
+        network = ipaddress.ip_network(prefix) if isinstance(prefix, str) else prefix
+        from .links import Link as _Link  # local import to avoid cycle
+
+        link_list = [links] if isinstance(links, _Link) else list(links)
+        self.remove_route(network)
+        entry = FibEntry(prefix=network, links=link_list)
+        self._entries.append(entry)
+        # Keep longest prefixes first so the first containment hit wins.
+        self._entries.sort(key=lambda e: e.prefix.prefixlen, reverse=True)
+        return entry
+
+    def remove_route(self, prefix: Union[str, IPNetwork]) -> bool:
+        """Remove the exact route for ``prefix``; True if one existed."""
+        network = ipaddress.ip_network(prefix) if isinstance(prefix, str) else prefix
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.prefix != network]
+        return len(self._entries) != before
+
+    def lookup(self, address: IPAddress) -> Optional[FibEntry]:
+        """Longest-prefix match, or None if no route covers ``address``."""
+        for entry in self._entries:
+            if entry.prefix.version == address.version and address in entry.prefix:
+                return entry
+        return None
+
+    def routes(self) -> list[FibEntry]:
+        """All installed entries, longest prefix first."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters."""
+
+    received: int = 0
+    forwarded: int = 0
+    delivered_local: int = 0
+    dropped_no_route: int = 0
+    dropped_ttl: int = 0
+    consumed_by_program: int = 0
+
+
+class Node:
+    """Base node: a name, a wall clock, and a receive hook."""
+
+    def __init__(self, name: str, sim: "Simulator", clock_offset: float = 0.0):
+        self.name = name
+        self.sim = sim
+        self.clock = NodeClock(sim.clock, offset=clock_offset)
+        self.stats = NodeStats()
+
+    def receive(self, packet: Packet, ingress: Optional["Link"] = None) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class HostNode(Node):
+    """An end host: delivers every received packet to an application sink."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: "Simulator",
+        clock_offset: float = 0.0,
+        on_packet: Optional[Callable[[Packet, float], None]] = None,
+    ) -> None:
+        super().__init__(name, sim, clock_offset)
+        self.received_packets: list[Packet] = []
+        self._on_packet = on_packet
+        #: Retain packets for inspection; long runs can disable this.
+        self.keep_packets = True
+
+    def receive(self, packet: Packet, ingress: Optional["Link"] = None) -> None:
+        self.stats.received += 1
+        self.stats.delivered_local += 1
+        if self.keep_packets:
+            self.received_packets.append(packet)
+        if self._on_packet is not None:
+            self._on_packet(packet, self.sim.now)
+
+
+class RouterNode(Node):
+    """Longest-prefix-match router with ECMP groups.
+
+    Addresses in ``local_addresses`` terminate here (the packet is handed to
+    :meth:`deliver_local`, which subclasses override).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: "Simulator",
+        clock_offset: float = 0.0,
+        ecmp_salt: int = 0,
+    ) -> None:
+        super().__init__(name, sim, clock_offset)
+        self.fib = Fib()
+        self.local_networks: list[IPNetwork] = []
+        self.ecmp_salt = ecmp_salt
+
+    def add_local_network(self, prefix: Union[str, IPNetwork]) -> None:
+        """Declare a prefix as locally terminated (host-facing)."""
+        network = ipaddress.ip_network(prefix) if isinstance(prefix, str) else prefix
+        self.local_networks.append(network)
+
+    def is_local(self, address: IPAddress) -> bool:
+        return any(
+            n.version == address.version and address in n for n in self.local_networks
+        )
+
+    def receive(self, packet: Packet, ingress: Optional["Link"] = None) -> None:
+        self.stats.received += 1
+        self.process(packet, ingress)
+
+    def process(self, packet: Packet, ingress: Optional["Link"]) -> None:
+        """Route the packet: local delivery or FIB forwarding."""
+        if self.is_local(packet.dst):
+            self.stats.delivered_local += 1
+            self.deliver_local(packet, ingress)
+            return
+        self.forward(packet)
+
+    def deliver_local(self, packet: Packet, ingress: Optional["Link"]) -> None:
+        """Terminate a packet addressed to this node.  Default: record only."""
+
+    def forward(self, packet: Packet) -> None:
+        """FIB lookup + ECMP selection + transmit."""
+        entry = self.fib.lookup(packet.dst)
+        if entry is None:
+            self.stats.dropped_no_route += 1
+            return
+        try:
+            packet.decrement_ttl()
+        except ValueError:
+            self.stats.dropped_ttl += 1
+            return
+        if len(entry.links) == 1:
+            link = entry.links[0]
+        else:
+            index = select_index(packet.five_tuple(), len(entry.links), self.ecmp_salt)
+            link = entry.links[index]
+        link.transmit(self.sim, packet)
+        self.stats.forwarded += 1
+
+
+class ProgrammableSwitch(RouterNode):
+    """A border switch running attachable data-plane programs.
+
+    Mirrors the structure of the paper's eBPF deployment: an *ingress*
+    program sees packets arriving from the wide area or the edge before
+    routing, an *egress* program sees packets just before transmission.
+    Programs may rewrite the header stack (encap/decap) or consume packets.
+
+    Program ordering is the attachment order; each program receives the
+    output of the previous one.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: "Simulator",
+        clock_offset: float = 0.0,
+        ecmp_salt: int = 0,
+    ) -> None:
+        super().__init__(name, sim, clock_offset, ecmp_salt)
+        self.ingress_programs: list[Program] = []
+        self.egress_programs: list[Program] = []
+
+    def attach_ingress(self, program: Program) -> None:
+        """Run ``program`` on every packet entering this switch."""
+        self.ingress_programs.append(program)
+
+    def attach_egress(self, program: Program) -> None:
+        """Run ``program`` on every packet about to be forwarded."""
+        self.egress_programs.append(program)
+
+    def receive(self, packet: Packet, ingress: Optional["Link"] = None) -> None:
+        self.stats.received += 1
+        current: Optional[Packet] = packet
+        for program in self.ingress_programs:
+            current = program(self, current)
+            if current is None:
+                self.stats.consumed_by_program += 1
+                return
+        self.process(current, ingress)
+
+    def forward(self, packet: Packet) -> None:
+        current: Optional[Packet] = packet
+        for program in self.egress_programs:
+            current = program(self, current)
+            if current is None:
+                self.stats.consumed_by_program += 1
+                return
+        super().forward(current)

@@ -1,0 +1,97 @@
+"""Simulation time and per-node wall clocks.
+
+Tango's measurement soundness rests on a simple observation from the paper
+(Section 3): the sending and receiving switches need not share a synchronized
+clock, because the *offset* between two free-running clocks is (approximately)
+constant, so one-way delays measured through them are all distorted by the
+same additive amount and remain comparable *relative to each other*.
+
+This module models that explicitly:
+
+* :class:`SimClock` is the single global simulation clock, advanced by the
+  event loop.  All physics (link delays, event timing) happen in simulation
+  time.
+* :class:`NodeClock` is a node's *wall clock*: the clock an eBPF program or
+  a switch ASIC would read.  It maps simulation time to local time through a
+  constant offset and an optional frequency drift.  Timestamps carried in
+  Tango tunnel headers are wall-clock values, never simulation time, so the
+  measurement pipeline sees exactly the distortion a real deployment sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimClock", "NodeClock"]
+
+
+class SimClock:
+    """Monotonic global simulation clock, in seconds.
+
+    Only the event loop (:class:`repro.netsim.events.Simulator`) should
+    advance it; everything else reads it.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises:
+            ValueError: if ``t`` is in the past; simulation time is monotonic.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"cannot move simulation time backwards: {t} < {self._now}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.9f})"
+
+
+@dataclass
+class NodeClock:
+    """A node's free-running wall clock.
+
+    Attributes:
+        sim_clock: the global simulation clock this wall clock derives from.
+        offset: constant offset in seconds added to simulation time.  Two
+            Tango endpoints typically have different offsets; the difference
+            is the constant distortion the paper discusses.
+        drift_ppm: frequency error in parts-per-million.  Real oscillators
+            drift by tens of ppm; the paper's constant-offset argument holds
+            only approximately under drift, which the telemetry layer's
+            relative comparisons tolerate.  Defaults to a perfect oscillator.
+    """
+
+    sim_clock: SimClock
+    offset: float = 0.0
+    drift_ppm: float = 0.0
+    _epoch: float = field(default=0.0, repr=False)
+
+    def now(self) -> float:
+        """Wall-clock reading in seconds for the current simulation time."""
+        return self.at(self.sim_clock.now)
+
+    def at(self, sim_time: float) -> float:
+        """Wall-clock reading for an arbitrary simulation time."""
+        elapsed = sim_time - self._epoch
+        return sim_time + self.offset + elapsed * (self.drift_ppm * 1e-6)
+
+    def now_ns(self) -> int:
+        """Wall-clock reading in integer nanoseconds.
+
+        Tango's tunnel header carries nanosecond timestamps (the eBPF
+        prototype reads ``bpf_ktime_get_ns``); quantizing here reproduces
+        the precision of the real data plane.
+        """
+        return round(self.now() * 1e9)

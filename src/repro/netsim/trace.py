@@ -1,0 +1,209 @@
+"""Workload generators.
+
+The paper generates measurement traffic by sending one probe per path every
+10 ms for eight days; application traffic in the motivating example is
+drone telemetry (small, periodic, latency-critical).  This module provides
+those workloads plus a Poisson generator for background traffic, all
+deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .events import PeriodicTask, Simulator
+from .packet import Ipv6Header, Packet, UdpHeader
+
+__all__ = [
+    "PacketFactory",
+    "ProbeGenerator",
+    "PoissonTraffic",
+    "DroneTelemetryWorkload",
+]
+
+
+@dataclass
+class PacketFactory:
+    """Builds plain (pre-encapsulation) data packets for a host pair."""
+
+    src: str
+    dst: str
+    sport: int = 40000
+    dport: int = 50000
+    payload_bytes: int = 64
+    flow_label: int = 0
+
+    def build(self) -> Packet:
+        """A fresh packet with an IPv6+UDP header stack."""
+        return Packet(
+            headers=[
+                Ipv6Header(
+                    src=ipaddress.IPv6Address(self.src),
+                    dst=ipaddress.IPv6Address(self.dst),
+                ),
+                UdpHeader(sport=self.sport, dport=self.dport),
+            ],
+            payload_bytes=self.payload_bytes,
+            flow_label=self.flow_label,
+        )
+
+
+class ProbeGenerator:
+    """Constant-rate probe stream, one packet every ``interval`` seconds.
+
+    This is the paper's measurement workload ("we ran a ping along each
+    path every 10ms"), except that Tango needs no ping: any packet gets
+    timestamped by the sender-side program, so probes here are ordinary
+    small UDP packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        send: Callable[[Packet], None],
+        interval: float = 0.010,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._factory = factory
+        self._send = send
+        self._interval = interval
+        self._task: Optional[PeriodicTask] = None
+        self.sent = 0
+
+    def start(self, at: Optional[float] = None, until: Optional[float] = None) -> None:
+        """Begin emitting probes (immediately or at ``at``)."""
+        if self._task is not None:
+            raise RuntimeError("probe generator already started")
+        self._task = self._sim.call_every(
+            self._interval, self._emit, start=at, end=until
+        )
+
+    def stop(self) -> None:
+        """Stop emitting."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _emit(self) -> None:
+        packet = self._factory.build()
+        packet.created_at = self._sim.now
+        self.sent += 1
+        self._send(packet)
+
+
+class PoissonTraffic:
+    """Poisson packet arrivals — background/application load.
+
+    Inter-arrival times are exponential with the given rate; the stream is
+    reproducible for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        send: Callable[[Packet], None],
+        rate_pps: float,
+        seed: int = 0,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps}")
+        self._sim = sim
+        self._factory = factory
+        self._send = send
+        self._rate = rate_pps
+        self._rng = np.random.default_rng(seed)
+        self._stopped = False
+        self._until: Optional[float] = None
+        self.sent = 0
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin the arrival process, optionally ending at ``until``."""
+        self._until = until
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self._rate))
+        when = self._sim.now + gap
+        if self._until is not None and when > self._until:
+            return
+        self._sim.schedule_at(when, self._emit)
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        packet = self._factory.build()
+        packet.created_at = self._sim.now
+        self.sent += 1
+        self._send(packet)
+        self._schedule_next()
+
+
+class DroneTelemetryWorkload:
+    """The paper's motivating application (Section 2.2).
+
+    An access network (ASX) streams drone sensor data to cloud VMs (ASY)
+    for real-time analytics and adaptive control.  Control loops run at a
+    fixed rate; occasionally a burst (e.g. a video keyframe or an event
+    upload) multiplies the packet size.
+
+    Deadline accounting is left to the caller: packets carry a
+    ``deadline_s`` annotation in ``meta`` so sinks can classify arrivals
+    as on-time or late.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        send: Callable[[Packet], None],
+        rate_hz: float = 100.0,
+        deadline_s: float = 0.050,
+        burst_every: int = 50,
+        burst_multiplier: int = 10,
+    ) -> None:
+        if rate_hz <= 0:
+            raise ValueError(f"rate must be positive, got {rate_hz}")
+        if deadline_s <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline_s}")
+        if burst_every <= 0:
+            raise ValueError(f"burst_every must be positive, got {burst_every}")
+        self._sim = sim
+        self._factory = factory
+        self._send = send
+        self._interval = 1.0 / rate_hz
+        self.deadline_s = deadline_s
+        self._burst_every = burst_every
+        self._burst_multiplier = burst_multiplier
+        self._task: Optional[PeriodicTask] = None
+        self.sent = 0
+
+    def start(self, until: Optional[float] = None) -> None:
+        if self._task is not None:
+            raise RuntimeError("workload already started")
+        self._task = self._sim.call_every(self._interval, self._emit, end=until)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _emit(self) -> None:
+        packet = self._factory.build()
+        self.sent += 1
+        if self.sent % self._burst_every == 0:
+            packet.payload_bytes *= self._burst_multiplier
+        packet.created_at = self._sim.now
+        packet.meta["deadline_s"] = self.deadline_s
+        packet.meta["sent_at"] = self._sim.now
+        self._send(packet)

@@ -1,0 +1,317 @@
+"""Generic two-edge packet-level Tango deployment.
+
+Everything scenario-independent about standing up a pairing lives here:
+
+* hosts and programmable border switches for both edges (clock offsets
+  from the edge configs);
+* noisy host↔gateway access links (the edge noise Tango's border
+  placement excludes from measurements);
+* control-plane establishment via :class:`~repro.core.session.TangoSession`;
+* one wide-area link per discovered path, FIB-pinned to its route
+  prefix, with a delay process supplied by the scenario's calibration
+  tables;
+* per-path probe streams, data-policy installation, failure injection,
+  and the fast (sampled) campaign that provably matches the packet path.
+
+Concrete scenarios (:class:`repro.scenarios.vultr.VultrDeployment`, the
+enterprise pairing) provide a BGP topology, a pairing config, and
+per-direction calibration tables, and inherit the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bgp.network import BgpNetwork
+from ..core.config import PairingConfig
+from ..core.gateway import TangoGateway
+from ..core.policy import ApplicationSelector, StaticSelector
+from ..core.session import SessionState, TangoSession
+from ..core.tunnels import TangoTunnel
+from ..netsim.delaymodels import GaussianJitterDelay
+from ..netsim.links import ConstantLoss, WindowedLoss
+from ..netsim.topology import Network
+from ..netsim.trace import PacketFactory, ProbeGenerator
+from ..telemetry.store import MeasurementStore
+
+__all__ = ["PacketLevelDeployment"]
+
+#: Default edge-network noise (ms): base and sigma of each access link.
+DEFAULT_EDGE_NOISE_MS = (0.6, 0.35)
+
+
+class PacketLevelDeployment:
+    """A two-edge Tango deployment wired end to end.
+
+    Args:
+        pairing: the two edges' static configuration.
+        bgp: the control plane (unconverged is fine; establishment
+            converges it).
+        calibrations: per-direction delay calibrations —
+            ``{src_edge_name: {path_short_label: PathCalibration}}``.
+        include_events: build delay processes with their event overlays.
+        instability_loss: elevated loss rate during instability windows
+            of paths that carry one (0 disables).
+        auth_key: non-empty enables authenticated telemetry.
+        edge_noise_ms: (base, sigma) of the access links.
+    """
+
+    def __init__(
+        self,
+        pairing: PairingConfig,
+        bgp: BgpNetwork,
+        calibrations: dict[str, dict[str, object]],
+        include_events: bool = True,
+        instability_loss: float = 0.0,
+        auth_key: bytes = b"",
+        edge_noise_ms: tuple[float, float] = DEFAULT_EDGE_NOISE_MS,
+    ) -> None:
+        for edge in (pairing.a, pairing.b):
+            if edge.name not in calibrations:
+                raise ValueError(
+                    f"no calibration table for direction from {edge.name!r}"
+                )
+        self.pairing = pairing
+        self.bgp = bgp
+        self.calibrations = calibrations
+        self.include_events = include_events
+        self._instability_loss = instability_loss
+        self.edge_noise_ms = edge_noise_ms
+
+        self.net = Network()
+        self.sim = self.net.sim
+        self.hosts = {}
+        self.switches = {}
+        self.gateways = {}
+        for edge in (pairing.a, pairing.b):
+            self.hosts[edge.name] = self.net.add_host(
+                f"host-{edge.name}", clock_offset=edge.clock_offset_s
+            )
+            switch = self.net.add_switch(
+                f"gw-{edge.name}", clock_offset=edge.clock_offset_s
+            )
+            self.switches[edge.name] = switch
+            self.gateways[edge.name] = TangoGateway(switch, edge, auth_key=auth_key)
+
+        self.session = TangoSession(
+            pairing,
+            bgp,
+            self.gateways[pairing.a.name],
+            self.gateways[pairing.b.name],
+            self.sim,
+        )
+        self.state: Optional[SessionState] = None
+        self._probe_generators: list[ProbeGenerator] = []
+        self._probe_selectors: dict[str, ApplicationSelector] = {}
+
+    # -- establishment ------------------------------------------------------------
+
+    def establish(self) -> SessionState:
+        """Run control-plane establishment and build the data plane."""
+        self.state = self.session.establish()
+        self._build_edge_links()
+        a, b = self.pairing.a.name, self.pairing.b.name
+        self._build_wide_area(a, b, self.state.tunnels_a_to_b)
+        self._build_wide_area(b, a, self.state.tunnels_b_to_a)
+        self.session.start_telemetry_mirrors()
+        return self.state
+
+    def _build_edge_links(self) -> None:
+        base, sigma = self.edge_noise_ms
+        for seed_offset, edge in enumerate((self.pairing.a, self.pairing.b)):
+            host = self.hosts[edge.name]
+            switch = self.switches[edge.name]
+            self.net.add_link(
+                f"{host.name}->{switch.name}",
+                host,
+                switch,
+                delay=GaussianJitterDelay(
+                    base * 1e-3, sigma * 1e-3, seed=31 + seed_offset
+                ),
+            )
+            self.net.add_link(
+                f"{switch.name}->{host.name}",
+                switch,
+                host,
+                delay=GaussianJitterDelay(
+                    base * 1e-3, sigma * 1e-3, seed=33 + seed_offset
+                ),
+            )
+            switch.fib.add_route(
+                edge.host_prefix, self.net.links[f"{switch.name}->{host.name}"]
+            )
+
+    def _build_wide_area(
+        self, src: str, dst: str, tunnels: list[TangoTunnel]
+    ) -> None:
+        src_switch = self.switches[src]
+        dst_switch = self.switches[dst]
+        table = self.calibrations[src]
+        for tunnel in tunnels:
+            calibration = table.get(tunnel.short_label)
+            if calibration is None:
+                raise KeyError(
+                    f"no calibration for path {tunnel.short_label!r} "
+                    f"({src}->{dst}); have {sorted(table)}"
+                )
+            model = calibration.build(self.include_events)
+            loss = None
+            if (
+                self._instability_loss > 0
+                and getattr(calibration, "with_instability", False)
+                and self.include_events
+            ):
+                loss = WindowedLoss.around_events(
+                    model.events, baseline=0.0, elevated=self._instability_loss
+                )
+            link = self.net.add_link(
+                f"{src}->{dst}:{tunnel.short_label}",
+                src_switch,
+                dst_switch,
+                delay=model,
+                loss=loss,
+            )
+            src_switch.fib.add_route(tunnel.remote_prefix, link)
+            if tunnel.is_default_path:
+                remote_host = self.pairing.edge(dst).host_prefix
+                src_switch.fib.add_route(remote_host, link)
+
+    # -- workload helpers ---------------------------------------------------------
+
+    def peer_of(self, edge_name: str) -> str:
+        return self.pairing.peer_of(edge_name).name
+
+    def sender_for(self, edge_name: str):
+        """A send callable injecting packets at ``edge_name``'s host."""
+        link = self.net.links[f"host-{edge_name}->gw-{edge_name}"]
+
+        def send(packet) -> None:
+            packet.created_at = self.sim.now
+            link.transmit(self.sim, packet)
+
+        return send
+
+    def gateway(self, edge_name: str) -> TangoGateway:
+        return self.gateways[edge_name]
+
+    def tunnels(self, src: str) -> list[TangoTunnel]:
+        """Tunnels for traffic originating at ``src``."""
+        if self.state is None:
+            raise RuntimeError("call establish() first")
+        if src == self.pairing.a.name:
+            return self.state.tunnels_a_to_b
+        return self.state.tunnels_b_to_a
+
+    def set_data_policy(self, src: str, selector) -> None:
+        """Install the forwarding policy for data traffic from ``src``,
+        preserving any pinned per-path probe streams."""
+        existing = self._probe_selectors.get(src)
+        if existing is not None:
+            existing.default = selector
+        else:
+            self.gateway(src).set_selector(selector)
+
+    def start_path_probes(
+        self, src: str, interval_s: Optional[float] = None
+    ) -> list[ProbeGenerator]:
+        """One probe stream pinned to each path from ``src`` (the paper
+        ran "a ping along each path every 10ms")."""
+        if self.state is None:
+            raise RuntimeError("call establish() first")
+        interval = interval_s or self.pairing.probe_interval_s
+        gateway = self.gateway(src)
+        dst_edge = self.pairing.peer_of(src)
+        selector = self._probe_selectors.get(src)
+        if selector is None:
+            selector = ApplicationSelector(default=gateway.selector)
+            gateway.set_selector(selector)
+            self._probe_selectors[src] = selector
+        generators = []
+        send = self.sender_for(src)
+        for index, tunnel in enumerate(self.tunnels(src)):
+            flow_label = 1000 + tunnel.path_id
+            selector.assign(flow_label, StaticSelector(index))
+            factory = PacketFactory(
+                src=str(self.pairing.edge(src).host_address(2)),
+                dst=str(dst_edge.host_address(2)),
+                sport=52000 + index,
+                dport=52000,
+                payload_bytes=16,
+                flow_label=flow_label,
+            )
+            generator = ProbeGenerator(self.sim, factory, send, interval)
+            generator.start()
+            generators.append(generator)
+            self._probe_generators.append(generator)
+        return generators
+
+    def stop_probes(self) -> None:
+        for generator in self._probe_generators:
+            generator.stop()
+        self._probe_generators.clear()
+
+    # -- failure injection ----------------------------------------------------------
+
+    def fail_path(self, src: str, label: str, at: float) -> None:
+        """Blackhole one wide-area path at simulation time ``at``."""
+        link = self._wan_link(src, label)
+        self.sim.schedule_at(at, lambda: setattr(link, "loss", ConstantLoss(1.0)))
+
+    def restore_path(self, src: str, label: str, at: float) -> None:
+        """Undo :meth:`fail_path` at simulation time ``at``."""
+        link = self._wan_link(src, label)
+        self.sim.schedule_at(at, lambda: setattr(link, "loss", ConstantLoss(0.0)))
+
+    def _wan_link(self, src: str, label: str):
+        name = f"{src}->{self.peer_of(src)}:{label}"
+        try:
+            return self.net.links[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown wide-area link {name!r}; have "
+                f"{sorted(k for k in self.net.links if ':' in k)}"
+            ) from None
+
+    # -- fast measurement campaign ---------------------------------------------------
+
+    def clock_offset_delta(self, src: str) -> float:
+        """Receiver-minus-sender clock offset for the given direction."""
+        return (
+            self.pairing.peer_of(src).clock_offset_s
+            - self.pairing.edge(src).clock_offset_s
+        )
+
+    def run_fast_campaign(
+        self,
+        src: str,
+        t0_s: float,
+        t1_s: float,
+        interval_s: Optional[float] = None,
+        include_offset: bool = True,
+    ) -> tuple[MeasurementStore, MeasurementStore]:
+        """Sample the direction's delay processes at probe cadence.
+
+        Returns ``(measured, true)`` stores — ``measured`` carries the
+        direction's constant clock-offset distortion, ``true`` is the
+        simulation-only ground truth.
+        """
+        if t1_s <= t0_s:
+            raise ValueError(f"need t1 > t0, got [{t0_s}, {t1_s}]")
+        interval = interval_s or self.pairing.probe_interval_s
+        table = self.calibrations[src]
+        offset = self.clock_offset_delta(src) if include_offset else 0.0
+        times = np.arange(t0_s, t1_s, interval)
+        measured = MeasurementStore()
+        true = MeasurementStore()
+        for tunnel in self.tunnels(src):
+            model = table[tunnel.short_label].build(self.include_events)
+            delays = model.delays(times)
+            true.extend(tunnel.path_id, times, delays)
+            measured.extend(tunnel.path_id, times, delays + offset)
+        return measured, true
+
+    def path_labels(self, src: str) -> list[str]:
+        """Short labels of the direction's paths, discovery order."""
+        return [t.short_label for t in self.tunnels(src)]

@@ -1,0 +1,212 @@
+"""Synthetic topologies: Tango-of-N meshes and the ECMP ablation fabric.
+
+Two generators:
+
+* :func:`build_mesh_scenario` — N edge networks attached to a partially
+  peered transit core, pairwise discovery run for every ordered pair,
+  per-path delays assigned deterministically — the substrate for the
+  Section 6 "Tango of N" study (DESIGN.md E9).
+* :func:`build_ecmp_fanout` — a packet-level fabric where one BGP path
+  hides several ECMP sub-paths with different delays, demonstrating why
+  unpinned probing measures "multiple paths as one" and why Tango's
+  fixed tunnel 5-tuple fixes it (DESIGN.md E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bgp.network import BgpNetwork
+from ..bgp.router import BgpRouter
+from ..core.discovery import DiscoveryResult, PathDiscovery
+from ..core.mesh import TangoMesh
+from ..netsim.delaymodels import ConstantDelay, GaussianJitterDelay
+from ..netsim.topology import Network
+
+__all__ = [
+    "MeshScenario",
+    "build_mesh_scenario",
+    "EcmpFanout",
+    "build_ecmp_fanout",
+]
+
+#: Transit core used by the mesh generator (ASN -> base one-way ms
+#: "speed" factor; paths through lower-factor transits are faster).
+_TRANSIT_SPEED = {2914: 1.00, 1299: 1.12, 3257: 0.92, 174: 1.25, 3356: 1.18}
+_TRANSIT_ASNS = tuple(sorted(_TRANSIT_SPEED))
+_EDGE_BASE_ASN = 65100
+_PROVIDER_BASE_ASN = 64900
+
+
+@dataclass
+class MeshScenario:
+    """N cooperating edges with pairwise discovery already run."""
+
+    bgp: BgpNetwork
+    edge_names: list[str]
+    discoveries: dict[tuple[str, str], DiscoveryResult]
+    mesh: TangoMesh
+
+    @property
+    def n(self) -> int:
+        return len(self.edge_names)
+
+
+def _pair_distance(i: int, j: int, n: int, rng: np.random.Generator) -> float:
+    """Deterministic pseudo-geographic distance (ms) between edges."""
+    base = 12.0 + 40.0 * abs(i - j) / max(n - 1, 1)
+    return base + float(rng.uniform(0.0, 8.0))
+
+
+def build_mesh_scenario(
+    n_edges: int,
+    providers_per_edge: int = 2,
+    seed: int = 42,
+) -> MeshScenario:
+    """Build an N-edge Tango mesh over a shared transit core.
+
+    Each edge gets its own provider AS (its "Vultr") which buys transit
+    from ``providers_per_edge`` distinct core transits (deterministically
+    chosen), so pairwise discovery exposes a few paths per ordered pair.
+    Path delays derive from a pseudo-geographic pair distance scaled by
+    the transit's speed factor — slower transits give strictly worse
+    paths, so relaying through a well-placed third edge can win.
+
+    Args:
+        n_edges: number of participating edge networks (≥ 2).
+        providers_per_edge: transits each edge's provider connects to.
+        seed: drives distances and provider assignment.
+    """
+    if n_edges < 2:
+        raise ValueError(f"need at least 2 edges, got {n_edges}")
+    if not 1 <= providers_per_edge <= len(_TRANSIT_ASNS):
+        raise ValueError(
+            f"providers_per_edge must be in 1..{len(_TRANSIT_ASNS)}"
+        )
+    rng = np.random.default_rng(seed)
+    bgp = BgpNetwork()
+    for asn in _TRANSIT_ASNS:
+        bgp.add_router(BgpRouter(f"transit-{asn}", asn))
+    # Full peering among transits keeps every pair reachable even when
+    # their provider transit sets are disjoint.
+    for i, a in enumerate(_TRANSIT_ASNS):
+        for b in _TRANSIT_ASNS[i + 1 :]:
+            bgp.add_peering(f"transit-{a}", f"transit-{b}")
+
+    edge_names: list[str] = []
+    edge_transits: dict[str, list[int]] = {}
+    for index in range(n_edges):
+        edge = f"edge{index}"
+        provider = f"provider-{index}"
+        bgp.add_router(
+            BgpRouter(provider, _PROVIDER_BASE_ASN + index, allowas_in=True)
+        )
+        bgp.add_router(BgpRouter(edge, _EDGE_BASE_ASN + index))
+        bgp.add_provider(edge, provider)
+        start = index % len(_TRANSIT_ASNS)
+        chosen = [
+            _TRANSIT_ASNS[(start + k) % len(_TRANSIT_ASNS)]
+            for k in range(providers_per_edge)
+        ]
+        for preference, transit in enumerate(chosen, start=1):
+            bgp.add_provider(
+                provider, f"transit-{transit}", customer_preference=preference
+            )
+        edge_names.append(edge)
+        edge_transits[edge] = chosen
+
+    mesh = TangoMesh()
+    for edge in edge_names:
+        mesh.add_member(edge)
+    discoveries: dict[tuple[str, str], DiscoveryResult] = {}
+    for j, announcer in enumerate(edge_names):
+        provider_asn = _PROVIDER_BASE_ASN + j
+        probe = f"2001:db8:{0xF000 + j:x}::/48"
+        for i, observer in enumerate(edge_names):
+            if observer == announcer:
+                continue
+            result = PathDiscovery(bgp, provider_asn).discover(
+                announcer=announcer,
+                observer=observer,
+                probe_prefix=probe,
+            )
+            discoveries[(observer, announcer)] = result
+            distance = _pair_distance(i, j, n_edges, rng)
+            labeled = []
+            for path in result.paths:
+                speed = float(
+                    np.mean([_TRANSIT_SPEED.get(a, 1.3) for a in path.transit_asns])
+                    if path.transit_asns
+                    else 1.0
+                )
+                hop_tax = 1.0 + 0.06 * max(len(path.transit_asns) - 1, 0)
+                labeled.append((path.label, distance * speed * hop_tax * 1e-3))
+            mesh.add_paths(observer, announcer, labeled)
+    return MeshScenario(
+        bgp=bgp, edge_names=edge_names, discoveries=discoveries, mesh=mesh
+    )
+
+
+@dataclass
+class EcmpFanout:
+    """Packet-level fabric with hidden ECMP sub-paths.
+
+    ``src`` and ``dst`` are programmable switches; between them sits one
+    core router whose route to the destination prefix is an ECMP group of
+    ``sub_path_delays_ms`` parallel links.  To BGP this is *one* path.
+    """
+
+    net: Network
+    src_name: str
+    dst_name: str
+    dst_prefix: str
+    sub_path_delays_ms: tuple[float, ...]
+
+
+def build_ecmp_fanout(
+    sub_path_delays_ms: tuple[float, ...] = (30.0, 35.0, 41.0),
+    jitter_ms: float = 0.05,
+    ecmp_salt: int = 7,
+) -> EcmpFanout:
+    """Build the E8 ablation fabric.
+
+    Probes that vary their 5-tuple are sprayed over the sub-paths and see
+    a multi-modal delay mix; packets inside one Tango tunnel share a
+    5-tuple and stick to a single sub-path.
+    """
+    if len(sub_path_delays_ms) < 2:
+        raise ValueError("need at least two ECMP sub-paths for the ablation")
+    net = Network()
+    src = net.add_switch("ecmp-src")
+    core = net.add_router("ecmp-core", ecmp_salt=ecmp_salt)
+    dst = net.add_switch("ecmp-dst")
+    uplink = net.add_link("src->core", src, core, delay=ConstantDelay(0.0002))
+    group = []
+    for index, delay_ms in enumerate(sub_path_delays_ms):
+        group.append(
+            net.add_link(
+                f"core->dst:{index}",
+                core,
+                dst,
+                delay=GaussianJitterDelay(
+                    delay_ms * 1e-3, jitter_ms * 1e-3, seed=700 + index
+                ),
+            )
+        )
+    dst_prefix = "2001:db8:ecf::/48"
+    src.fib.add_route(dst_prefix, uplink)
+    core.fib.add_route(dst_prefix, group)  # the ECMP group
+    # Also route the Tango outer prefix the same way so encapsulated
+    # packets traverse the identical fabric.
+    outer_prefix = "2001:db8:eca::/48"
+    src.fib.add_route(outer_prefix, uplink)
+    core.fib.add_route(outer_prefix, group)
+    return EcmpFanout(
+        net=net,
+        src_name="ecmp-src",
+        dst_name="ecmp-dst",
+        dst_prefix=dst_prefix,
+        sub_path_delays_ms=tuple(sub_path_delays_ms),
+    )

@@ -1,0 +1,155 @@
+"""Online anomaly detection for path telemetry.
+
+The paper's Section 5 narrates two event classes found by eyeballing the
+trace — a route change (level shift) and an instability window (spike
+cluster).  A deployment needs to find them *online*; this module provides
+the two standard switch-friendly detectors:
+
+* :class:`CusumDetector` — two-sided CUSUM on the measurement stream;
+  detects sustained level shifts (the Fig. 4-middle route change) with
+  O(1) state per path.
+* :class:`SpikeClusterDetector` — counts threshold exceedances in a
+  sliding window; fires when spikes cluster (the Fig. 4-right
+  instability) while ignoring isolated outliers.
+
+Both are incremental (one ``update`` per sample), deterministic, and
+reset-able, so they can run inside the controller's tick loop or be
+replayed over a recorded campaign.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AnomalyEvent", "CusumDetector", "SpikeClusterDetector"]
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """A detector firing."""
+
+    t: float
+    kind: str  # "shift-up" | "shift-down" | "spike-cluster"
+    magnitude: float
+
+
+class CusumDetector:
+    """Two-sided CUSUM change detector.
+
+    Standard parameterization: after a warm-up that estimates the
+    baseline mean, accumulate ``S+ = max(0, S+ + (x - mean - drift))``
+    and the symmetric ``S-``; fire when either exceeds ``threshold``.
+    After a detection the baseline re-anchors to the recent level, so a
+    reverted route change fires again on the way back.
+
+    Args:
+        drift: slack per sample (in measurement units); deviations below
+            it are ignored.  Set near one noise stddev.
+        threshold: accumulated deviation that triggers detection.
+        warmup: samples used to (re-)estimate the baseline.
+    """
+
+    def __init__(
+        self, drift: float = 0.0005, threshold: float = 0.01, warmup: int = 50
+    ) -> None:
+        if drift < 0:
+            raise ValueError(f"drift must be >= 0, got {drift}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        self.drift = drift
+        self.threshold = threshold
+        self.warmup = warmup
+        self.events: list[AnomalyEvent] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all state (baseline re-estimated from scratch)."""
+        self._sum_high = 0.0
+        self._sum_low = 0.0
+        self._baseline: Optional[float] = None
+        self._warmup_values: list[float] = []
+
+    @property
+    def baseline(self) -> Optional[float]:
+        """Current baseline estimate (None during warm-up)."""
+        return self._baseline
+
+    def update(self, t: float, value: float) -> Optional[AnomalyEvent]:
+        """Feed one sample; returns an event if a shift was detected."""
+        if self._baseline is None:
+            self._warmup_values.append(value)
+            if len(self._warmup_values) >= self.warmup:
+                self._baseline = sum(self._warmup_values) / len(
+                    self._warmup_values
+                )
+                self._warmup_values.clear()
+            return None
+        deviation = value - self._baseline
+        self._sum_high = max(0.0, self._sum_high + deviation - self.drift)
+        self._sum_low = max(0.0, self._sum_low - deviation - self.drift)
+        event: Optional[AnomalyEvent] = None
+        if self._sum_high > self.threshold:
+            event = AnomalyEvent(t=t, kind="shift-up", magnitude=self._sum_high)
+        elif self._sum_low > self.threshold:
+            event = AnomalyEvent(t=t, kind="shift-down", magnitude=self._sum_low)
+        if event is not None:
+            self.events.append(event)
+            # Re-anchor: estimate the new level from scratch.
+            self.reset()
+            self._warmup_values.append(value)
+        return event
+
+
+class SpikeClusterDetector:
+    """Fires when threshold exceedances cluster in a sliding window.
+
+    Args:
+        spike_threshold: absolute value above which a sample is a spike
+            (e.g. baseline + 10 ms for the GTT instability).
+        window_s: sliding window length.
+        min_spikes: exceedances within the window needed to fire.
+        cooldown_s: suppress repeat firings for this long.
+    """
+
+    def __init__(
+        self,
+        spike_threshold: float,
+        window_s: float = 10.0,
+        min_spikes: int = 3,
+        cooldown_s: float = 30.0,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        if min_spikes < 1:
+            raise ValueError(f"min_spikes must be >= 1, got {min_spikes}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown_s}")
+        self.spike_threshold = spike_threshold
+        self.window_s = window_s
+        self.min_spikes = min_spikes
+        self.cooldown_s = cooldown_s
+        self.events: list[AnomalyEvent] = []
+        self._spike_times: deque[float] = deque()
+        self._last_fire = float("-inf")
+
+    def update(self, t: float, value: float) -> Optional[AnomalyEvent]:
+        """Feed one sample; returns an event when a cluster is detected."""
+        if value > self.spike_threshold:
+            self._spike_times.append(t)
+        while self._spike_times and self._spike_times[0] < t - self.window_s:
+            self._spike_times.popleft()
+        if (
+            len(self._spike_times) >= self.min_spikes
+            and t - self._last_fire >= self.cooldown_s
+        ):
+            event = AnomalyEvent(
+                t=t, kind="spike-cluster", magnitude=float(len(self._spike_times))
+            )
+            self.events.append(event)
+            self._last_fire = t
+            return event
+        return None

@@ -1,0 +1,182 @@
+"""One-way-delay analysis with unsynchronized-clock semantics.
+
+The measured one-way delay is ``receiver_wall_clock - sender_timestamp``,
+which equals the true delay plus the (constant) clock offset between the
+two switches.  Consequences the paper spells out, which this module's API
+enforces by construction:
+
+* *Relative* comparisons between paths in the same direction are exact —
+  the offset cancels.  :func:`relative_delays` and best-path ranking
+  therefore operate on raw measured values.
+* Comparisons *between directions* are meaningless; a
+  :class:`DirectionalStore` keeps the two directions' measurements in
+  separate stores so they cannot be mixed by accident.
+* Absolute delays are only approximate; :func:`estimate_clock_offset`
+  recovers the offset under a symmetric-path assumption (the classic
+  NTP-style bound), exposed for diagnostics rather than policy use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .store import MeasurementStore
+
+__all__ = [
+    "Ewma",
+    "relative_delays",
+    "rank_paths",
+    "estimate_clock_offset",
+    "DirectionalStore",
+    "PathSummary",
+    "summarize_path",
+]
+
+
+class Ewma:
+    """Exponentially weighted moving average, the policies' smoother.
+
+    ``alpha`` is the weight of a new sample.  Switch-friendly: one
+    multiply-accumulate per packet, no history buffer.
+    """
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        """Fold in a sample; returns the new average."""
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value += self.alpha * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current average (None before the first sample)."""
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+
+def relative_delays(
+    store: MeasurementStore, t0: float, t1: float
+) -> dict[int, float]:
+    """Mean measured delay per path over [t0, t1), offset-cancelled.
+
+    The smallest per-path mean is subtracted, so the result expresses each
+    path's penalty relative to the best path in the window — exactly the
+    comparison the paper argues is sound without synchronized clocks.
+    """
+    means: dict[int, float] = {}
+    for path_id in store.path_ids():
+        _, values = store.series(path_id).window(t0, t1)
+        if values.size:
+            means[path_id] = float(np.mean(values))
+    if not means:
+        return {}
+    best = min(means.values())
+    return {path_id: mean - best for path_id, mean in means.items()}
+
+
+def rank_paths(
+    store: MeasurementStore, window_s: float, now: float
+) -> list[tuple[int, float]]:
+    """Paths sorted best-first by trailing-window mean measured delay."""
+    ranked = []
+    for path_id in store.path_ids():
+        delay = store.recent_delay(path_id, window_s, now)
+        if delay is not None:
+            ranked.append((path_id, delay))
+    ranked.sort(key=lambda item: (item[1], item[0]))
+    return ranked
+
+
+def estimate_clock_offset(
+    forward_owd_s: float, reverse_owd_s: float
+) -> tuple[float, float]:
+    """NTP-style decomposition of a measured OWD pair.
+
+    Given measured forward and reverse one-way delays between two switches
+    (each distorted by opposite-sign offsets), and assuming symmetric true
+    path delays, returns ``(offset_s, true_one_way_s)`` where ``offset_s``
+    is receiver-clock-minus-sender-clock for the forward direction.
+
+    The symmetry assumption is exactly what Tango does *not* rely on —
+    this helper exists for diagnostics and for quantifying asymmetry in
+    the one-way-vs-RTT ablation.
+    """
+    true_one_way = (forward_owd_s + reverse_owd_s) / 2.0
+    offset = (forward_owd_s - reverse_owd_s) / 2.0
+    return offset, true_one_way
+
+
+@dataclass(frozen=True)
+class PathSummary:
+    """Descriptive statistics for one path over a window."""
+
+    path_id: int
+    samples: int
+    mean_s: float
+    minimum_s: float
+    maximum_s: float
+    p50_s: float
+    p99_s: float
+
+    def as_row(self) -> dict:
+        """Flat dict (milliseconds) for report tables."""
+        return {
+            "path_id": self.path_id,
+            "samples": self.samples,
+            "mean_ms": self.mean_s * 1e3,
+            "min_ms": self.minimum_s * 1e3,
+            "max_ms": self.maximum_s * 1e3,
+            "p50_ms": self.p50_s * 1e3,
+            "p99_ms": self.p99_s * 1e3,
+        }
+
+
+def summarize_path(
+    store: MeasurementStore, path_id: int, t0: float, t1: float
+) -> Optional[PathSummary]:
+    """Window statistics for one path, or None if it has no samples."""
+    _, values = store.series(path_id).window(t0, t1)
+    if values.size == 0:
+        return None
+    return PathSummary(
+        path_id=path_id,
+        samples=int(values.size),
+        mean_s=float(np.mean(values)),
+        minimum_s=float(np.min(values)),
+        maximum_s=float(np.max(values)),
+        p50_s=float(np.percentile(values, 50)),
+        p99_s=float(np.percentile(values, 99)),
+    )
+
+
+class DirectionalStore:
+    """Measurements of the two directions of a Tango pairing, kept apart.
+
+    ``forward`` holds delays measured at the remote switch for paths
+    *we* select (our outbound); ``reverse`` holds delays measured locally
+    for the peer's outbound.  The split makes the paper's "comparisons
+    between one-way delays in different directions have little meaning"
+    a type-level property instead of a convention.
+    """
+
+    def __init__(self) -> None:
+        self.forward = MeasurementStore()
+        self.reverse = MeasurementStore()
+
+    def record_forward(self, path_id: int, t: float, owd_s: float) -> None:
+        self.forward.record(path_id, t, owd_s)
+
+    def record_reverse(self, path_id: int, t: float, owd_s: float) -> None:
+        self.reverse.record(path_id, t, owd_s)

@@ -1,0 +1,123 @@
+"""Streaming quantile estimation (the P² algorithm).
+
+A programmable switch cannot buffer a campaign to compute percentiles;
+the P² algorithm (Jain & Chlamtac, 1985) tracks a quantile with five
+markers and O(1) updates — the kind of structure the paper's Section 6
+"efficient telemetry" direction calls for.  Used by the controller to
+report tail latency per tunnel without storing samples.
+"""
+
+from __future__ import annotations
+
+__all__ = ["P2Quantile"]
+
+
+class P2Quantile:
+    """P² single-quantile estimator.
+
+    Args:
+        q: the target quantile in (0, 1), e.g. 0.99.
+
+    Example:
+        >>> estimator = P2Quantile(0.5)
+        >>> for value in range(1, 101):
+        ...     estimator.update(float(value))
+        >>> 45 < estimator.value < 56
+        True
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: list[float] = []
+        # Marker state after initialization:
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        """Fold in one observation."""
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(value)
+            if self.count == 5:
+                self._initialize()
+            return
+        self._step(value)
+
+    def _initialize(self) -> None:
+        self._initial.sort()
+        self._heights = list(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        q = self.q
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def _step(self, value: float) -> None:
+        heights, positions = self._heights, self._positions
+        # Find the cell and clamp extremes.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 4 and value >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust interior markers.
+        for i in range(1, 4):
+            delta = self._desired[i] - positions[i]
+            step = 1.0 if delta >= 1.0 else -1.0 if delta <= -1.0 else 0.0
+            if step == 0.0:
+                continue
+            if not (
+                positions[i] + step - positions[i - 1] >= 1.0
+                and positions[i + 1] - (positions[i] + step) >= 1.0
+            ):
+                continue
+            adjusted = self._parabolic(i, step)
+            if heights[i - 1] < adjusted < heights[i + 1]:
+                heights[i] = adjusted
+            else:
+                heights[i] = self._linear(i, step)
+            positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate.
+
+        For fewer than five observations, falls back to the exact
+        quantile of what was seen (nan if nothing was seen).
+        """
+        if self.count == 0:
+            return float("nan")
+        if self.count < 5:
+            ordered = sorted(self._initial)
+            index = min(
+                int(self.q * len(ordered)), len(ordered) - 1
+            )
+            return ordered[index]
+        return self._heights[2]

@@ -1,0 +1,161 @@
+"""Time-series storage for per-path measurements.
+
+A :class:`TimeSeries` is an append-friendly (time, value) column pair that
+exposes numpy views for analysis; a :class:`MeasurementStore` keys series
+by Tango path id.  The store is the boundary between the data plane
+(which appends one sample per received packet) and the policy/analysis
+layers (which read windows and summaries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["TimeSeries", "MeasurementStore"]
+
+_INITIAL_CAPACITY = 1024
+
+
+class TimeSeries:
+    """Append-optimized (time, value) series backed by numpy arrays.
+
+    Appends are amortized O(1) via doubling; reads return zero-copy views
+    of the filled region.  Times must be non-decreasing (they come from a
+    monotonic simulation clock); violations raise immediately, because a
+    disordered series silently corrupts windowed statistics.
+    """
+
+    def __init__(self) -> None:
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._values = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0
+
+    def append(self, t: float, value: float) -> None:
+        """Add a sample at time ``t``."""
+        if self._size and t < self._times[self._size - 1]:
+            raise ValueError(
+                f"time went backwards: {t} < {self._times[self._size - 1]}"
+            )
+        if self._size == len(self._times):
+            self._grow()
+        self._times[self._size] = t
+        self._values[self._size] = value
+        self._size += 1
+
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Bulk-append aligned arrays (used by the fast sampling campaign)."""
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape:
+            raise ValueError(
+                f"shape mismatch: times {times.shape} vs values {values.shape}"
+            )
+        if times.size == 0:
+            return
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        if self._size and times[0] < self._times[self._size - 1]:
+            raise ValueError("bulk append would go backwards in time")
+        needed = self._size + times.size
+        while needed > len(self._times):
+            self._grow()
+        self._times[self._size : needed] = times
+        self._values[self._size : needed] = values
+        self._size = needed
+
+    def _grow(self) -> None:
+        capacity = max(len(self._times) * 2, _INITIAL_CAPACITY)
+        self._times = np.resize(self._times, capacity)
+        self._values = np.resize(self._values, capacity)
+
+    @property
+    def times(self) -> np.ndarray:
+        """View of sample times (do not mutate)."""
+        return self._times[: self._size]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of sample values (do not mutate)."""
+        return self._values[: self._size]
+
+    def window(self, t0: float, t1: float) -> tuple[np.ndarray, np.ndarray]:
+        """Samples with ``t0 <= time < t1`` as (times, values) views."""
+        times = self.times
+        lo = int(np.searchsorted(times, t0, side="left"))
+        hi = int(np.searchsorted(times, t1, side="left"))
+        return times[lo:hi], self.values[lo:hi]
+
+    def latest(self, count: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """The most recent ``count`` samples."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        lo = max(self._size - count, 0)
+        return self.times[lo:], self.values[lo:]
+
+    def mean(self) -> float:
+        """Mean value over the whole series (nan when empty)."""
+        return float(np.mean(self.values)) if self._size else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Value percentile (q in [0, 100]; nan when empty)."""
+        return float(np.percentile(self.values, q)) if self._size else float("nan")
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        if not self._size:
+            return "TimeSeries(empty)"
+        return (
+            f"TimeSeries(n={self._size}, "
+            f"t=[{self.times[0]:.3f}, {self.times[-1]:.3f}])"
+        )
+
+
+class MeasurementStore:
+    """Per-path one-way-delay series, plus arbitrary named series.
+
+    The canonical consumer pattern: the Tango receiver program calls
+    :meth:`record` per packet; path-selection policies call
+    :meth:`recent_delay` / :meth:`series`; reports iterate
+    :meth:`path_ids`.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[int, TimeSeries] = {}
+
+    def record(self, path_id: int, t: float, owd_s: float) -> None:
+        """Append one one-way-delay sample for ``path_id``."""
+        self._series.setdefault(path_id, TimeSeries()).append(t, owd_s)
+
+    def extend(self, path_id: int, times: np.ndarray, owds: np.ndarray) -> None:
+        """Bulk-append samples for ``path_id``."""
+        self._series.setdefault(path_id, TimeSeries()).extend(times, owds)
+
+    def series(self, path_id: int) -> TimeSeries:
+        """The series for ``path_id`` (empty series if nothing recorded)."""
+        return self._series.setdefault(path_id, TimeSeries())
+
+    def has_path(self, path_id: int) -> bool:
+        return path_id in self._series and len(self._series[path_id]) > 0
+
+    def path_ids(self) -> list[int]:
+        """All path ids with at least one sample, sorted."""
+        return sorted(p for p, s in self._series.items() if len(s))
+
+    def recent_delay(
+        self, path_id: int, window_s: float, now: float
+    ) -> Optional[float]:
+        """Mean delay over the trailing ``window_s`` seconds, or None."""
+        series = self._series.get(path_id)
+        if series is None or not len(series):
+            return None
+        _, values = series.window(now - window_s, now + 1e-12)
+        if values.size == 0:
+            return None
+        return float(np.mean(values))
+
+    def items(self) -> Iterator[tuple[int, TimeSeries]]:
+        return iter(sorted(self._series.items()))

@@ -1,0 +1,78 @@
+"""Tests for figure-data export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.figures import (
+    export_all,
+    export_fig4_left,
+    export_fig4_middle,
+    export_fig4_right,
+)
+from repro.scenarios.vultr import ROUTE_CHANGE_HOUR, VultrDeployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    d = VultrDeployment()
+    d.establish()
+    return d
+
+
+def read_csv(path):
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = list(reader)
+    return header, rows
+
+
+class TestExport:
+    def test_left_panel_columns_and_range(self, deployment, tmp_path):
+        out = export_fig4_left(deployment, tmp_path, interval_s=60.0)
+        header, rows = read_csv(out)
+        assert header == [
+            "time_hours",
+            "NTT_ms",
+            "Telia_ms",
+            "GTT_ms",
+            "Level3_ms",
+        ]
+        hours = [float(r[0]) for r in rows]
+        assert hours[0] == pytest.approx(25.0, abs=0.01)
+        assert hours[-1] == pytest.approx(48.0, abs=0.05)
+        # GTT column stays in the figure's latency band.
+        gtt = [float(r[3]) for r in rows]
+        assert all(25.0 < v < 50.0 for v in gtt)
+
+    def test_middle_panel_contains_the_event(self, deployment, tmp_path):
+        out = export_fig4_middle(deployment, tmp_path, interval_s=5.0)
+        header, rows = read_csv(out)
+        gtt_before = [
+            float(r[3])
+            for r in rows
+            if float(r[0]) < ROUTE_CHANGE_HOUR - 0.01
+        ]
+        gtt_plateau = [
+            float(r[3])
+            for r in rows
+            if ROUTE_CHANGE_HOUR + 0.02 < float(r[0]) < ROUTE_CHANGE_HOUR + 0.15
+        ]
+        assert gtt_before and gtt_plateau
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(gtt_plateau) - mean(gtt_before) == pytest.approx(5.0, abs=0.5)
+
+    def test_right_panel_has_spikes(self, deployment, tmp_path):
+        out = export_fig4_right(deployment, tmp_path, interval_s=0.05)
+        _, rows = read_csv(out)
+        gtt = [float(r[3]) for r in rows]
+        assert max(gtt) > 70.0
+        assert min(gtt) < 29.0
+
+    def test_export_all_writes_three_files(self, deployment, tmp_path):
+        paths = export_all(deployment, tmp_path / "figs")
+        assert len(paths) == 3
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 100

@@ -1,0 +1,66 @@
+"""Tests for report rendering."""
+
+from repro.analysis.report import format_kv, format_table, series_sparkline
+
+
+class TestFormatTable:
+    ROWS = [
+        {"path": "NTT", "mean_ms": 36.4},
+        {"path": "GTT", "mean_ms": 28.05},
+    ]
+
+    def test_contains_header_and_rows(self):
+        text = format_table(self.ROWS)
+        assert "path" in text
+        assert "NTT" in text
+        assert "28.050" in text
+
+    def test_title_prepended(self):
+        assert format_table(self.ROWS, title="Fig 4").startswith("Fig 4")
+
+    def test_column_selection_and_order(self):
+        text = format_table(self.ROWS, columns=["mean_ms", "path"])
+        header = text.splitlines()[0]
+        assert header.index("mean_ms") < header.index("path")
+
+    def test_missing_cells_dash(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_alignment_consistent(self):
+        lines = format_table(self.ROWS).splitlines()
+        assert len({len(line) for line in lines[1:]}) == 1
+
+
+class TestFormatKv:
+    def test_pairs_rendered(self):
+        text = format_kv([("penalty", 0.30), ("paths", 4)], title="headline")
+        assert "headline" in text
+        assert "penalty: 0.300" in text
+        assert "paths: 4" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert series_sparkline([]) == ""
+
+    def test_flat_series_uses_lowest_glyph(self):
+        line = series_sparkline([5.0] * 10)
+        assert set(line) == {"▁"}
+
+    def test_peak_maps_to_highest_glyph(self):
+        line = series_sparkline([0.0, 0.0, 10.0, 0.0])
+        assert "█" in line
+
+    def test_downsampled_to_width(self):
+        line = series_sparkline(list(range(1000)), width=60)
+        assert len(line) == 60
+
+    def test_downsampling_preserves_peaks(self):
+        values = [0.0] * 1000
+        values[500] = 9.0
+        line = series_sparkline(values, width=50)
+        assert "█" in line

@@ -1,0 +1,114 @@
+"""Tests for the TCP impact model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.tcp_model import (
+    InOrderDeliveryModel,
+    mathis_throughput,
+    stream_goodput,
+)
+
+
+class TestInOrderDelivery:
+    def test_steady_stream_no_blocking(self):
+        sends = np.arange(100) * 0.01
+        delays = np.full(100, 0.028)
+        stats = InOrderDeliveryModel().replay(sends, delays)
+        assert stats.mean_app_delay_s == pytest.approx(0.028)
+        assert stats.hol_blocking_penalty_s == pytest.approx(0.0)
+        assert stats.stalled_packets == 0
+
+    def test_one_spike_blocks_following_packets(self):
+        """The paper's Section 5 argument, quantified: one 78 ms packet
+        holds up in-order delivery of the 28 ms packets behind it."""
+        sends = np.arange(10) * 0.01
+        delays = np.full(10, 0.028)
+        delays[2] = 0.078  # spiked packet
+        stats = InOrderDeliveryModel().replay(sends, delays)
+        # Packets 3 and 4 arrive before packet 2 is delivered: stalled.
+        assert stats.stalled_packets == 4
+        assert stats.max_app_delay_s == pytest.approx(0.078)
+        assert stats.hol_blocking_penalty_s > 0.0
+
+    def test_spike_penalty_scales_with_magnitude(self):
+        sends = np.arange(50) * 0.01
+        small, big = np.full(50, 0.028), np.full(50, 0.028)
+        small[10] = 0.040
+        big[10] = 0.078
+        model = InOrderDeliveryModel()
+        assert (
+            model.replay(sends, big).hol_blocking_penalty_s
+            > model.replay(sends, small).hol_blocking_penalty_s
+        )
+
+    def test_stall_threshold_filters_jitter(self):
+        sends = np.arange(10) * 0.01
+        delays = np.full(10, 0.028)
+        delays[2] = 0.0285  # sub-threshold wiggle
+        stats = InOrderDeliveryModel(stall_threshold_s=0.001).replay(
+            sends, delays
+        )
+        assert stats.stalled_packets == 0
+
+    def test_validation(self):
+        model = InOrderDeliveryModel()
+        with pytest.raises(ValueError, match="empty"):
+            model.replay(np.asarray([]), np.asarray([]))
+        with pytest.raises(ValueError, match="align"):
+            model.replay(np.arange(3.0), np.arange(2.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            model.replay(np.asarray([1.0, 0.5]), np.ones(2))
+        with pytest.raises(ValueError):
+            InOrderDeliveryModel(stall_threshold_s=-1.0)
+
+
+class TestMathis:
+    def test_lower_loss_higher_throughput(self):
+        fast = mathis_throughput(1460, 0.056, 0.001)
+        slow = mathis_throughput(1460, 0.056, 0.01)
+        assert fast > slow
+
+    def test_lower_rtt_higher_throughput(self):
+        assert mathis_throughput(1460, 0.056, 0.001) > mathis_throughput(
+            1460, 0.080, 0.001
+        )
+
+    def test_zero_loss_unbounded(self):
+        assert math.isinf(mathis_throughput(1460, 0.056, 0.0))
+
+    def test_known_value(self):
+        # MSS/(RTT*sqrt(2p/3)) with p=0.01, RTT=100ms, MSS=1460.
+        expected = 1460 / (0.1 * math.sqrt(2 * 0.01 / 3))
+        assert mathis_throughput(1460, 0.1, 0.01) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mathis_throughput(0, 0.1, 0.01)
+        with pytest.raises(ValueError):
+            mathis_throughput(1460, 0.0, 0.01)
+        with pytest.raises(ValueError):
+            mathis_throughput(1460, 0.1, 1.5)
+
+
+class TestStreamGoodput:
+    def test_all_on_time(self):
+        sends = np.arange(100) * 0.01
+        delays = np.full(100, 0.028)
+        goodput = stream_goodput(sends, delays, payload_bytes=100, deadline_s=0.05)
+        # 100 packets * 100 B over 0.99 s.
+        assert goodput == pytest.approx(100 * 100 / 0.99)
+
+    def test_spikes_cut_goodput(self):
+        sends = np.arange(100) * 0.01
+        clean = np.full(100, 0.028)
+        spiky = clean.copy()
+        spiky[30:40] = 0.078  # late AND blocking later packets
+        clean_goodput = stream_goodput(sends, clean, 100, 0.05)
+        spiky_goodput = stream_goodput(sends, spiky, 100, 0.05)
+        assert spiky_goodput < clean_goodput
+
+    def test_empty_stream(self):
+        assert stream_goodput(np.asarray([]), np.asarray([]), 100, 0.05) == 0.0

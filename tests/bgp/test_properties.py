@@ -1,0 +1,150 @@
+"""Property-based tests on the BGP engine.
+
+Gao–Rexford policies guarantee (a) convergence to a unique fixpoint and
+(b) valley-free, loop-free best paths.  These properties are exactly what
+the Tango discovery procedure leans on ("wait for BGP to propagate"), so
+we check them over randomized three-tier topologies.
+"""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.policy import Relationship
+from repro.bgp.router import BgpRouter
+
+PREFIX = ipaddress.ip_network("2001:db8:77::/48")
+
+
+def build_topology(tier1_count, mid_links, stub_links):
+    """Three tiers: full-mesh tier-1 peering; mids buy transit from
+    tier-1s; stubs buy transit from mids.  Link choices come from
+    hypothesis-drawn index lists, so the shape is randomized but always
+    a valid (acyclic-provider) business hierarchy."""
+    net = BgpNetwork()
+    relationships = {}
+
+    tier1 = [f"t{i}" for i in range(tier1_count)]
+    for i, name in enumerate(tier1):
+        net.add_router(BgpRouter(name, 10 + i))
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            net.add_peering(a, b)
+            relationships[(a, b)] = Relationship.PEER
+            relationships[(b, a)] = Relationship.PEER
+
+    mids = [f"m{i}" for i in range(len(mid_links))]
+    for i, (name, providers) in enumerate(zip(mids, mid_links)):
+        net.add_router(BgpRouter(name, 100 + i))
+        for p in sorted({idx % tier1_count for idx in providers}):
+            provider = tier1[p]
+            net.add_provider(name, provider)
+            relationships[(name, provider)] = Relationship.PROVIDER
+            relationships[(provider, name)] = Relationship.CUSTOMER
+
+    stubs = [f"s{i}" for i in range(len(stub_links))]
+    for i, (name, providers) in enumerate(zip(stubs, stub_links)):
+        net.add_router(BgpRouter(name, 1000 + i))
+        for p in sorted({idx % len(mids) for idx in providers}):
+            provider = mids[p]
+            net.add_provider(name, provider)
+            relationships[(name, provider)] = Relationship.PROVIDER
+            relationships[(provider, name)] = Relationship.CUSTOMER
+
+    asn_to_name = {r.asn: r.name for r in net.routers.values()}
+    return net, relationships, asn_to_name, stubs
+
+
+def path_is_valley_free(observer, path_asns, relationships, asn_to_name):
+    """Once a path descends (provider->customer hop) or crosses a peer
+    link, it must keep descending (from the traffic direction's view)."""
+    names = [observer] + [asn_to_name[a] for a in path_asns]
+    # Hop a->b carries traffic from a to b; the route was learned the
+    # other way.  Classify each hop by a's view of b.
+    seen_down_or_peer = False
+    for a, b in zip(names, names[1:]):
+        rel = relationships[(a, b)]
+        if rel is Relationship.PROVIDER:
+            # going up: only allowed before any down/peer hop
+            if seen_down_or_peer:
+                return False
+        else:
+            seen_down_or_peer = True
+    return True
+
+
+topology_strategy = st.tuples(
+    st.integers(min_value=2, max_value=4),  # tier-1 count
+    st.lists(  # mid-tier provider index lists
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=3),
+        min_size=2,
+        max_size=4,
+    ),
+    st.lists(  # stub provider index lists
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=2),
+        min_size=2,
+        max_size=4,
+    ),
+)
+
+
+class TestConvergenceProperties:
+    @given(topology_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_always_converges(self, topo):
+        tier1_count, mid_links, stub_links = topo
+        net, _, _, stubs = build_topology(tier1_count, mid_links, stub_links)
+        net.router(stubs[0]).originate(PREFIX)
+        rounds = net.converge(max_rounds=100)
+        assert rounds < 100
+
+    @given(topology_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_best_paths_loop_free_and_valley_free(self, topo):
+        tier1_count, mid_links, stub_links = topo
+        net, relationships, asn_to_name, stubs = build_topology(
+            tier1_count, mid_links, stub_links
+        )
+        origin = stubs[0]
+        net.router(origin).originate(PREFIX)
+        net.converge()
+        for name, router in net.routers.items():
+            best = router.best_path(PREFIX)
+            if best is None:
+                continue
+            # Loop-free: no repeated ASN (no prepending in this setup).
+            assert len(set(best.asns)) == len(best.asns)
+            # Valley-free along the traffic direction.
+            assert path_is_valley_free(
+                name, best.asns, relationships, asn_to_name
+            ), f"{name}: {best}"
+
+    @given(topology_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_fixpoint_is_stable_under_reconvergence(self, topo):
+        tier1_count, mid_links, stub_links = topo
+        net, _, _, stubs = build_topology(tier1_count, mid_links, stub_links)
+        net.router(stubs[0]).originate(PREFIX)
+        net.converge()
+        snapshot = {
+            name: router.best_path(PREFIX)
+            for name, router in net.routers.items()
+        }
+        assert net.converge() == 1  # immediately stable
+        for name, router in net.routers.items():
+            assert router.best_path(PREFIX) == snapshot[name]
+
+    @given(topology_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_withdraw_unreaches_everyone(self, topo):
+        tier1_count, mid_links, stub_links = topo
+        net, _, _, stubs = build_topology(tier1_count, mid_links, stub_links)
+        net.router(stubs[0]).originate(PREFIX)
+        net.converge()
+        net.router(stubs[0]).withdraw_origination(PREFIX)
+        net.converge()
+        for name in net.routers:
+            if name != stubs[0]:
+                assert not net.reachable(name, PREFIX), name

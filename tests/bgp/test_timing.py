@@ -1,0 +1,83 @@
+"""Tests for timed BGP failure response."""
+
+import pytest
+
+from repro.bgp.network import BgpNetwork, CONVERGENCE_DELAY_S
+from repro.bgp.router import BgpRouter
+from repro.bgp.timing import SessionTimers, TimedFailover
+from repro.netsim.events import Simulator
+
+P = "2001:db8:1::/48"
+
+
+def diamond():
+    net = BgpNetwork()
+    for name, asn in (
+        ("origin", 65001),
+        ("left", 100),
+        ("right", 200),
+        ("sink", 65002),
+    ):
+        net.add_router(BgpRouter(name, asn))
+    net.add_provider("origin", "left", customer_preference=1)
+    net.add_provider("origin", "right", customer_preference=2)
+    net.add_provider("sink", "left", customer_preference=1)
+    net.add_provider("sink", "right", customer_preference=2)
+    net.router("origin").originate(P)
+    net.converge()
+    return net
+
+
+class TestSessionTimers:
+    def test_defaults_match_rfc_and_literature(self):
+        timers = SessionTimers()
+        assert timers.hold_s == 90.0
+        assert timers.convergence_s == CONVERGENCE_DELAY_S
+        assert timers.total_blackhole_s == 90.0 + CONVERGENCE_DELAY_S
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionTimers(hold_s=-1.0)
+        with pytest.raises(ValueError):
+            SessionTimers(convergence_s=-1.0)
+
+
+class TestTimedFailover:
+    def test_detection_waits_for_hold_timer(self):
+        sim = Simulator()
+        net = diamond()
+        failover = TimedFailover(sim, net, SessionTimers(30.0, 60.0))
+        failover.fail_session("origin", "left", at=10.0)
+        sim.run(until=39.0)
+        # Before detection the stale route is still best.
+        assert net.best_path("sink", P).asns == (100,)
+        sim.run(until=41.0)
+        assert net.best_path("sink", P).asns == (200,)
+
+    def test_convergence_callback_fires_late(self):
+        sim = Simulator()
+        net = diamond()
+        converged = []
+        failover = TimedFailover(
+            sim,
+            net,
+            SessionTimers(30.0, 60.0),
+            on_converged=lambda: converged.append(sim.now),
+        )
+        detected, converged_at = failover.fail_session("origin", "left", at=10.0)
+        assert (detected, converged_at) == (40.0, 100.0)
+        sim.run()
+        assert converged == [100.0]
+        assert failover.log[0][2:] == (10.0, 40.0, 100.0)
+
+    def test_multiple_failures_logged(self):
+        sim = Simulator()
+        net = diamond()
+        failover = TimedFailover(sim, net, SessionTimers(1.0, 1.0))
+        failover.fail_session("origin", "left", at=0.0)
+        failover.fail_session("sink", "right", at=10.0)
+        sim.run()
+        assert len(failover.log) == 2
+        # After losing both left (at origin) and right (at sink), the
+        # sink is cut off entirely.
+        assert not net.reachable("sink", P)

@@ -1,0 +1,160 @@
+"""Tests for the slow-path controller."""
+
+import ipaddress
+
+import pytest
+
+from repro.core.config import EdgeConfig
+from repro.core.controller import TangoController
+from repro.core.gateway import TangoGateway
+from repro.core.policy import StaticSelector
+from repro.core.tunnels import TangoTunnel
+from repro.netsim.topology import Network
+
+
+def make_setup():
+    net = Network()
+    switch = net.add_switch("gw")
+    config = EdgeConfig(
+        name="ny",
+        tenant_router="tango-ny",
+        tenant_asn=64512,
+        provider_router="vultr-ny",
+        provider_asn=20473,
+        host_prefix=ipaddress.IPv6Network("2001:db8:20::/48"),
+        route_prefixes=(ipaddress.IPv6Network("2001:db8:b0::/48"),),
+    )
+    gateway = TangoGateway(switch, config)
+    gateway.install_tunnels(
+        ipaddress.IPv6Network("2001:db8:30::/48"),
+        [
+            TangoTunnel(
+                path_id=0,
+                label="NTT",
+                local_endpoint=ipaddress.IPv6Address("2001:db8:b0::1"),
+                remote_endpoint=ipaddress.IPv6Address("2001:db8:c0::1"),
+                remote_prefix=ipaddress.IPv6Network("2001:db8:c0::/48"),
+            )
+        ],
+    )
+    return net, gateway
+
+
+class TestControlLoop:
+    def test_ticks_at_interval(self):
+        net, gateway = make_setup()
+        controller = TangoController(gateway, net.sim, interval_s=0.1)
+        controller.start()
+        net.run(until=1.0)
+        assert controller.ticks == 11
+
+    def test_stop_halts_loop(self):
+        net, gateway = make_setup()
+        controller = TangoController(gateway, net.sim, interval_s=0.1)
+        controller.start()
+        net.run(until=0.5)
+        controller.stop()
+        net.run(until=2.0)
+        assert controller.ticks == 6
+
+    def test_double_start_rejected(self):
+        net, gateway = make_setup()
+        controller = TangoController(gateway, net.sim)
+        controller.start()
+        with pytest.raises(RuntimeError):
+            controller.start()
+
+    def test_choice_trace_records_static_selector(self):
+        net, gateway = make_setup()
+        gateway.set_selector(StaticSelector(0))
+        controller = TangoController(gateway, net.sim, interval_s=0.1)
+        controller.start()
+        net.run(until=0.5)
+        assert len(controller.choice_trace) == 6
+        assert set(controller.choice_trace.values.tolist()) == {0.0}
+
+    def test_loss_monitor_sampled_each_tick(self):
+        net, gateway = make_setup()
+        gateway.tracker.observe(0, 0)
+        controller = TangoController(gateway, net.sim, interval_s=0.1)
+        controller.start()
+        net.run(until=0.35)
+        assert len(gateway.loss_monitor.series[0]) == 4
+
+    def test_invalid_interval(self):
+        net, gateway = make_setup()
+        with pytest.raises(ValueError):
+            TangoController(gateway, net.sim, interval_s=0.0)
+
+
+class TestHealth:
+    def test_tunnel_without_measurements_is_stale(self):
+        net, gateway = make_setup()
+        controller = TangoController(gateway, net.sim, staleness_s=1.0)
+        health = controller.health()
+        assert len(health) == 1
+        assert not health[0].fresh
+        assert health[0].last_measurement_age_s is None
+        assert controller.stale_tunnels() == health
+
+    def test_fresh_measurement_marks_healthy(self):
+        net, gateway = make_setup()
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller = TangoController(gateway, net.sim, staleness_s=1.0)
+        health = controller.health()
+        assert health[0].fresh
+        assert controller.stale_tunnels() == []
+
+    def test_measurement_goes_stale_with_time(self):
+        net, gateway = make_setup()
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller = TangoController(gateway, net.sim, staleness_s=1.0)
+        net.sim.clock.advance_to(5.0)
+        assert not controller.health()[0].fresh
+        assert controller.health()[0].last_measurement_age_s == pytest.approx(5.0)
+
+
+class TestStaleCallback:
+    def test_on_stale_fires_once_per_transition(self):
+        net, gateway = make_setup()
+        fired = []
+        controller = TangoController(
+            gateway,
+            net.sim,
+            interval_s=0.1,
+            staleness_s=0.5,
+            on_stale=fired.append,
+        )
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=2.0)  # goes stale at ~0.5, fires once
+        assert len(fired) == 1
+        assert fired[0].path_id == 0
+
+    def test_recovery_rearms_the_callback(self):
+        net, gateway = make_setup()
+        fired = []
+        controller = TangoController(
+            gateway,
+            net.sim,
+            interval_s=0.1,
+            staleness_s=0.5,
+            on_stale=fired.append,
+        )
+        gateway.outbound.record(0, 0.0, 0.030)
+        # Fresh measurement arrives at t=2, then silence again.
+        net.sim.schedule_at(2.0, lambda: gateway.outbound.record(0, 2.0, 0.030))
+        controller.start()
+        net.run(until=5.0)
+        assert len(fired) == 2
+
+    def test_never_measured_tunnel_does_not_fire(self):
+        net, gateway = make_setup()
+        fired = []
+        controller = TangoController(
+            gateway, net.sim, interval_s=0.1, staleness_s=0.5,
+            on_stale=fired.append,
+        )
+        controller.start()
+        net.run(until=2.0)
+        assert fired == []

@@ -1,0 +1,117 @@
+"""Property-based tests for the discovery algorithm on random topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.router import BgpRouter
+from repro.core.discovery import PathDiscovery
+
+PROBE = "2001:db8:aa::/48"
+TRANSITS = (2914, 1299, 3257, 174, 3356)
+
+
+def build(observer_links, announcer_links, peer_pairs):
+    """Two single-homed edges behind two provider ASes, each provider
+    buying transit from a hypothesis-chosen subset of five transits,
+    with a hypothesis-chosen transit peering mesh."""
+    net = BgpNetwork()
+    for asn in TRANSITS:
+        net.add_router(BgpRouter(f"t{asn}", asn))
+    for i, a in enumerate(TRANSITS):
+        for j, b in enumerate(TRANSITS):
+            if i < j and ((i * 5 + j) % len(TRANSITS)) in peer_pairs:
+                net.add_peering(f"t{a}", f"t{b}")
+    net.add_router(BgpRouter("prov-obs", 64700, allowas_in=True))
+    net.add_router(BgpRouter("prov-ann", 64701, allowas_in=True))
+    net.add_router(BgpRouter("edge-obs", 65100))
+    net.add_router(BgpRouter("edge-ann", 65101))
+    net.add_provider("edge-obs", "prov-obs")
+    net.add_provider("edge-ann", "prov-ann")
+    for rank, idx in enumerate(sorted({i % 5 for i in observer_links}), 1):
+        net.add_provider(
+            "prov-obs", f"t{TRANSITS[idx]}", customer_preference=rank
+        )
+    for rank, idx in enumerate(sorted({i % 5 for i in announcer_links}), 1):
+        net.add_provider(
+            "prov-ann", f"t{TRANSITS[idx]}", customer_preference=rank
+        )
+    return net
+
+
+topology = st.tuples(
+    st.lists(st.integers(0, 9), min_size=1, max_size=4),
+    st.lists(st.integers(0, 9), min_size=1, max_size=4),
+    st.sets(st.integers(0, 4), min_size=1, max_size=5),
+)
+
+
+class TestDiscoveryProperties:
+    @given(topology)
+    @settings(max_examples=40, deadline=None)
+    def test_paths_are_distinct(self, topo):
+        """No two discovered paths share a transit view — suppression
+        guarantees progress."""
+        observer_links, announcer_links, peer_pairs = topo
+        net = build(observer_links, announcer_links, peer_pairs)
+        result = PathDiscovery(net, 64701).discover(
+            announcer="edge-ann", observer="edge-obs", probe_prefix=PROBE
+        )
+        views = [p.transit_asns for p in result.paths]
+        assert len(set(views)) == len(views)
+
+    @given(topology)
+    @settings(max_examples=40, deadline=None)
+    def test_path_count_bounded_by_announcer_providers(self, topo):
+        """Each round suppresses one export of the announcer's provider,
+        so the count never exceeds its transit degree."""
+        observer_links, announcer_links, peer_pairs = topo
+        net = build(observer_links, announcer_links, peer_pairs)
+        degree = len(net.router("prov-ann").neighbors) - 1  # minus the edge
+        result = PathDiscovery(net, 64701).discover(
+            announcer="edge-ann", observer="edge-obs", probe_prefix=PROBE
+        )
+        assert result.path_count <= degree
+
+    @given(topology)
+    @settings(max_examples=30, deadline=None)
+    def test_discovery_restores_control_plane(self, topo):
+        """After discovery the probe prefix is fully withdrawn and a
+        second run reproduces the identical result."""
+        observer_links, announcer_links, peer_pairs = topo
+        net = build(observer_links, announcer_links, peer_pairs)
+        discovery = PathDiscovery(net, 64701)
+        first = discovery.discover(
+            announcer="edge-ann", observer="edge-obs", probe_prefix=PROBE
+        )
+        assert not net.reachable("edge-obs", PROBE)
+        second = discovery.discover(
+            announcer="edge-ann", observer="edge-obs", probe_prefix=PROBE
+        )
+        assert [p.transit_asns for p in first.paths] == [
+            p.transit_asns for p in second.paths
+        ]
+
+    @given(topology)
+    @settings(max_examples=30, deadline=None)
+    def test_communities_pin_each_path(self, topo):
+        """Re-announcing with path i's communities reproduces path i —
+        for every discovered path, on every random topology."""
+        from repro.bgp.attributes import RouteAttributes
+
+        observer_links, announcer_links, peer_pairs = topo
+        net = build(observer_links, announcer_links, peer_pairs)
+        result = PathDiscovery(net, 64701).discover(
+            announcer="edge-ann", observer="edge-obs", probe_prefix=PROBE
+        )
+        announcer = net.router("edge-ann")
+        for path in result.paths:
+            announcer.originate(
+                PROBE, RouteAttributes().add_communities(large=path.communities)
+            )
+            net.converge()
+            best = net.router("edge-obs").best_path(PROBE)
+            view = best.without(64700).without(64701).strip_private()
+            assert view.asns == path.transit_asns
+        announcer.withdraw_origination(PROBE)
+        net.converge()

@@ -1,0 +1,218 @@
+"""Tests for forwarding policies (path selectors)."""
+
+import ipaddress
+
+import pytest
+
+from repro.core.policy import (
+    ApplicationSelector,
+    HysteresisSelector,
+    JitterAwareSelector,
+    LossAwareSelector,
+    LowestDelaySelector,
+    StaticSelector,
+)
+from repro.core.tunnels import TangoTunnel
+from repro.dataplane.seqnum import SequenceTracker
+from repro.netsim.packet import Ipv6Header, Packet
+from repro.telemetry.loss import LossMonitor
+from repro.telemetry.store import MeasurementStore
+
+
+def tunnel(path_id):
+    return TangoTunnel(
+        path_id=path_id,
+        label=f"p{path_id}",
+        local_endpoint=ipaddress.IPv6Address(f"2001:db8:a{path_id}::1"),
+        remote_endpoint=ipaddress.IPv6Address(f"2001:db8:b{path_id}::1"),
+        remote_prefix=ipaddress.IPv6Network(f"2001:db8:b{path_id}::/48"),
+    )
+
+
+TUNNELS = [tunnel(i) for i in range(3)]
+
+
+def packet(flow=0):
+    return Packet(
+        headers=[
+            Ipv6Header(
+                src=ipaddress.IPv6Address("2001:db8:10::1"),
+                dst=ipaddress.IPv6Address("2001:db8:20::1"),
+            )
+        ],
+        flow_label=flow,
+    )
+
+
+def store_with(means: dict[int, float], now=10.0, n=50, spread=0.0, seed=0):
+    """Samples in the last second before `now` with given means."""
+    import numpy as np
+
+    store = MeasurementStore()
+    times = now - 1.0 + np.arange(n) / n
+    rng = np.random.default_rng(seed)
+    for path_id, mean in means.items():
+        noise = rng.normal(0.0, spread, n) if spread else np.zeros(n)
+        store.extend(path_id, times, np.full(n, mean) + noise)
+    return store
+
+
+class TestStaticSelector:
+    def test_always_same_tunnel(self):
+        selector = StaticSelector(1)
+        for _ in range(5):
+            assert selector.select(TUNNELS, packet(), 0.0).path_id == 1
+
+    def test_out_of_range_loud(self):
+        with pytest.raises(IndexError):
+            StaticSelector(9).select(TUNNELS, packet(), 0.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            StaticSelector(-1)
+
+
+class TestLowestDelaySelector:
+    def test_picks_lowest_mean(self):
+        store = store_with({0: 0.036, 1: 0.033, 2: 0.028})
+        selector = LowestDelaySelector(store, window_s=1.0)
+        assert selector.select(TUNNELS, packet(), 10.0).path_id == 2
+
+    def test_fallback_when_no_measurements(self):
+        selector = LowestDelaySelector(MeasurementStore(), window_s=1.0)
+        assert selector.select(TUNNELS, packet(), 10.0).path_id == 0
+
+    def test_partial_measurements_considered(self):
+        store = store_with({1: 0.033})
+        selector = LowestDelaySelector(store, window_s=1.0)
+        assert selector.select(TUNNELS, packet(), 10.0).path_id == 1
+
+    def test_tracks_decision_and_switch_counts(self):
+        store = store_with({0: 0.030, 1: 0.040})
+        selector = LowestDelaySelector(store, window_s=1.0)
+        selector.select(TUNNELS, packet(), 10.0)
+        # Path 1 becomes better later.
+        store.extend(0, [20.0], [0.050])
+        store.extend(1, [20.0], [0.020])
+        selector.select(TUNNELS, packet(), 20.5)
+        assert selector.decisions == 2
+        assert selector.switches == 1
+
+    def test_stale_measurements_ignored(self):
+        store = store_with({2: 0.001}, now=10.0)
+        selector = LowestDelaySelector(store, window_s=1.0)
+        # At t=100 the t~10 samples are far outside the window.
+        assert selector.select(TUNNELS, packet(), 100.0).path_id == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LowestDelaySelector(MeasurementStore(), window_s=0.0)
+
+
+class TestHysteresisSelector:
+    def test_small_improvement_does_not_switch(self):
+        store = store_with({0: 0.0300, 1: 0.0295})
+        selector = HysteresisSelector(store, margin_s=0.002, dwell_s=0.0)
+        first = selector.select(TUNNELS, packet(), 10.0)
+        assert first.path_id == 0  # 0.5 ms < 2 ms margin
+
+    def test_large_improvement_switches(self):
+        store = store_with({0: 0.036, 2: 0.028})
+        selector = HysteresisSelector(store, margin_s=0.002, dwell_s=0.0)
+        assert selector.select(TUNNELS, packet(), 10.0).path_id == 2
+
+    def test_dwell_blocks_rapid_flapping(self):
+        store = store_with({0: 0.036, 2: 0.028})
+        selector = HysteresisSelector(store, margin_s=0.002, dwell_s=5.0)
+        assert selector.select(TUNNELS, packet(), 10.0).path_id == 2
+        # Path 0 becomes much better right away...
+        store.extend(0, [10.5], [0.010])
+        store.extend(2, [10.5], [0.030])
+        # ...but we switched at t=10, dwell until t=15.
+        assert selector.select(TUNNELS, packet(), 11.0).path_id == 2
+        # Once the dwell expires (and fresh data is in the window), the
+        # better path is taken.
+        store.extend(0, [15.0], [0.010])
+        store.extend(2, [15.0], [0.030])
+        assert selector.select(TUNNELS, packet(), 15.5).path_id == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HysteresisSelector(MeasurementStore(), margin_s=-1.0)
+        with pytest.raises(ValueError):
+            HysteresisSelector(MeasurementStore(), dwell_s=-1.0)
+
+
+class TestJitterAwareSelector:
+    def test_prefers_stable_path_at_equal_mean(self):
+        """The GTT-vs-Telia choice: same mean, different jitter."""
+        store = store_with({0: 0.030}, spread=0.0005, seed=1)
+        quiet = store_with({1: 0.030}, spread=0.000005, seed=2)
+        for t, v in zip(quiet.series(1).times, quiet.series(1).values):
+            store.record(1, t, v)
+        selector = JitterAwareSelector(store, jitter_weight=10.0)
+        assert selector.select(TUNNELS[:2], packet(), 10.0).path_id == 1
+
+    def test_zero_weight_reduces_to_mean(self):
+        store = store_with({0: 0.028, 1: 0.030}, spread=0.0001, seed=3)
+        selector = JitterAwareSelector(store, jitter_weight=0.0)
+        assert selector.select(TUNNELS[:2], packet(), 10.0).path_id == 0
+
+    def test_fallback_without_data(self):
+        selector = JitterAwareSelector(MeasurementStore())
+        assert selector.select(TUNNELS, packet(), 0.0).path_id == 0
+
+
+class TestLossAwareSelector:
+    def make(self, means, losses):
+        store = store_with(means)
+        tracker = SequenceTracker()
+        monitor = LossMonitor(tracker)
+        for path_id, (received, lost) in losses.items():
+            seq = 0
+            for _ in range(received):
+                tracker.observe(path_id, seq)
+                seq += 1
+            seq += lost  # skip -> presumed loss
+            tracker.observe(path_id, seq)
+        monitor.sample(10.0)
+        return LossAwareSelector(store, monitor, loss_penalty_s=1.0)
+
+    def test_lossy_fast_path_penalized(self):
+        """1% loss at penalty 1.0 ~ 10 ms extra: the 28 ms lossy path
+        loses to the clean 33 ms path."""
+        selector = self.make(
+            means={0: 0.033, 1: 0.028},
+            losses={0: (99, 0), 1: (89, 10)},
+        )
+        assert selector.select(TUNNELS[:2], packet(), 10.0).path_id == 0
+
+    def test_clean_fast_path_wins(self):
+        selector = self.make(
+            means={0: 0.033, 1: 0.028},
+            losses={0: (99, 0), 1: (99, 0)},
+        )
+        assert selector.select(TUNNELS[:2], packet(), 10.0).path_id == 1
+
+
+class TestApplicationSelector:
+    def test_flow_classes_routed_separately(self):
+        selector = ApplicationSelector(
+            default=StaticSelector(0), classes={7: StaticSelector(2)}
+        )
+        assert selector.select(TUNNELS, packet(flow=7), 0.0).path_id == 2
+        assert selector.select(TUNNELS, packet(flow=1), 0.0).path_id == 0
+
+    def test_assign_binds_new_class(self):
+        selector = ApplicationSelector(default=StaticSelector(0))
+        selector.assign(9, StaticSelector(1))
+        assert selector.select(TUNNELS, packet(flow=9), 0.0).path_id == 1
+
+    def test_nested_measured_selector(self):
+        store = store_with({0: 0.036, 2: 0.028})
+        selector = ApplicationSelector(
+            default=LowestDelaySelector(store, window_s=1.0),
+            classes={5: StaticSelector(0)},
+        )
+        assert selector.select(TUNNELS, packet(flow=5), 10.0).path_id == 0
+        assert selector.select(TUNNELS, packet(flow=1), 10.0).path_id == 2

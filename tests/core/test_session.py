@@ -1,0 +1,118 @@
+"""Tests for pairing establishment and telemetry mirroring.
+
+Uses the Vultr deployment as the canonical pairing (it is the paper's own
+setup and exercises every establishment step).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import TelemetryMirror
+from repro.scenarios.vultr import VultrDeployment
+from repro.telemetry.store import MeasurementStore
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    d = VultrDeployment(include_events=False)
+    d.establish()
+    return d
+
+
+class TestEstablishment:
+    def test_four_tunnels_per_direction(self, deployment):
+        state = deployment.state
+        assert state.path_counts == (4, 4)
+
+    def test_route_prefixes_pinned_after_establishment(self, deployment):
+        """Each remote route prefix is reachable over its own path."""
+        bgp = deployment.bgp
+        la = deployment.pairing.b
+        observed = []
+        for prefix in la.route_prefixes:
+            path = bgp.best_path("tango-ny", prefix)
+            assert path is not None
+            observed.append(path.without(20473).strip_private().asns)
+        assert len(set(observed)) == 4  # four distinct transit views
+
+    def test_host_prefixes_reachable_via_default(self, deployment):
+        bgp = deployment.bgp
+        assert bgp.reachable("tango-ny", deployment.pairing.b.host_prefix)
+        assert bgp.reachable("tango-la", deployment.pairing.a.host_prefix)
+
+    def test_tunnels_installed_in_gateways(self, deployment):
+        assert len(deployment.gateway_ny.tunnel_table) == 4
+        assert len(deployment.gateway_la.tunnel_table) == 4
+
+    def test_direction_bases_disjoint(self, deployment):
+        ids_ab = {t.path_id for t in deployment.state.tunnels_a_to_b}
+        ids_ba = {t.path_id for t in deployment.state.tunnels_b_to_a}
+        assert ids_ab.isdisjoint(ids_ba)
+
+    def test_gateway_mismatch_rejected(self, deployment):
+        from repro.core.session import TangoSession
+
+        with pytest.raises(ValueError, match="gateway_a"):
+            TangoSession(
+                deployment.pairing,
+                deployment.bgp,
+                deployment.gateway_la,  # swapped
+                deployment.gateway_ny,
+                deployment.sim,
+            )
+
+
+class TestTelemetryMirror:
+    def test_copies_new_samples(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.extend(1, np.asarray([0.0, 1.0]), np.asarray([0.03, 0.031]))
+        mirror = TelemetryMirror(source, sink, latency_s=0.0)
+        assert mirror.sync(now=2.0) == 2
+        np.testing.assert_array_equal(sink.series(1).values, [0.03, 0.031])
+
+    def test_incremental_no_duplicates(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.record(1, 0.0, 0.03)
+        mirror = TelemetryMirror(source, sink)
+        mirror.sync(1.0)
+        source.record(1, 1.5, 0.031)
+        mirror.sync(2.0)
+        assert len(sink.series(1)) == 2
+        assert mirror.samples_mirrored == 2
+
+    def test_latency_horizon_respected(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.record(1, 0.0, 0.03)
+        source.record(1, 0.95, 0.031)
+        mirror = TelemetryMirror(source, sink, latency_s=0.1)
+        mirror.sync(now=1.0)  # horizon = 0.9: second sample too fresh
+        assert len(sink.series(1)) == 1
+        mirror.sync(now=1.1)
+        assert len(sink.series(1)) == 2
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryMirror(MeasurementStore(), MeasurementStore(), latency_s=-1.0)
+
+    def test_multiple_paths_mirrored(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.record(1, 0.0, 0.03)
+        source.record(2, 0.0, 0.04)
+        TelemetryMirror(source, sink).sync(1.0)
+        assert sink.path_ids() == [1, 2]
+
+
+class TestLiveMirroring:
+    def test_outbound_stores_fed_from_peer(self):
+        deployment = VultrDeployment(include_events=False)
+        deployment.establish()
+        deployment.start_path_probes("ny", interval_s=0.02)
+        deployment.net.run(until=1.0)
+        outbound = deployment.gateway_ny.outbound
+        assert len(outbound.path_ids()) == 4
+        # Mirrored values equal what LA measured.
+        inbound = deployment.gateway_la.inbound
+        for path_id in outbound.path_ids():
+            mirrored = outbound.series(path_id).values
+            measured = inbound.series(path_id).values[: mirrored.size]
+            np.testing.assert_array_equal(mirrored, measured)

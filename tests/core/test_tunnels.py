@@ -1,0 +1,117 @@
+"""Tests for the tunnel table and tunnel construction."""
+
+import ipaddress
+
+import pytest
+
+from repro.core.discovery import DiscoveredPath
+from repro.core.tunnels import TangoTunnel, TunnelTable, build_tunnels
+from repro.bgp.attributes import AsPath
+
+
+def prefixes(hexes):
+    return tuple(ipaddress.IPv6Network(f"2001:db8:{h}::/48") for h in hexes)
+
+
+LOCAL = prefixes(["a0", "a1", "a2", "a3"])
+REMOTE = prefixes(["b0", "b1", "b2", "b3"])
+HOST = ipaddress.IPv6Network("2001:db8:20::/48")
+
+
+def paths(n=4):
+    labels = [(2914,), (1299,), (3257,), (2914, 174)]
+    return tuple(
+        DiscoveredPath(
+            index=i,
+            full_path=AsPath(labels[i]),
+            transit_asns=labels[i],
+            communities=frozenset(),
+        )
+        for i in range(n)
+    )
+
+
+class TestBuildTunnels:
+    def test_one_tunnel_per_path(self):
+        tunnels = build_tunnels(paths(), LOCAL, REMOTE, direction_base=0)
+        assert len(tunnels) == 4
+        assert [t.path_id for t in tunnels] == [0, 1, 2, 3]
+
+    def test_endpoints_follow_prefix_convention(self):
+        tunnels = build_tunnels(paths(), LOCAL, REMOTE, direction_base=0)
+        assert str(tunnels[2].local_endpoint) == "2001:db8:a2::1"
+        assert str(tunnels[2].remote_endpoint) == "2001:db8:b2::1"
+        assert tunnels[2].remote_prefix == REMOTE[2]
+
+    def test_direction_base_offsets_ids(self):
+        tunnels = build_tunnels(paths(), LOCAL, REMOTE, direction_base=64)
+        assert [t.path_id for t in tunnels] == [64, 65, 66, 67]
+
+    def test_direction_base_must_align(self):
+        with pytest.raises(ValueError, match="multiple"):
+            build_tunnels(paths(), LOCAL, REMOTE, direction_base=10)
+
+    def test_unique_sports_per_tunnel(self):
+        tunnels = build_tunnels(paths(), LOCAL, REMOTE, direction_base=0)
+        assert len({t.sport for t in tunnels}) == 4
+
+    def test_insufficient_remote_prefixes_loud_error(self):
+        with pytest.raises(ValueError, match="remote route prefixes"):
+            build_tunnels(paths(4), LOCAL, REMOTE[:2], direction_base=0)
+
+    def test_insufficient_local_prefixes_loud_error(self):
+        with pytest.raises(ValueError, match="local route prefixes"):
+            build_tunnels(paths(4), LOCAL[:2], REMOTE, direction_base=0)
+
+    def test_default_path_flag(self):
+        tunnels = build_tunnels(paths(), LOCAL, REMOTE, direction_base=64)
+        assert tunnels[0].is_default_path
+        assert not tunnels[1].is_default_path
+
+    def test_labels_carried(self):
+        tunnels = build_tunnels(paths(), LOCAL, REMOTE, direction_base=0)
+        assert tunnels[3].label == "NTT Cogent"
+        assert tunnels[3].short_label == "Cogent"
+
+
+class TestTunnelTable:
+    def make_table(self):
+        table = TunnelTable()
+        for tunnel in build_tunnels(paths(), LOCAL, REMOTE, direction_base=0):
+            table.add(HOST, tunnel)
+        return table
+
+    def test_lookup_by_host_address(self):
+        table = self.make_table()
+        tunnels = table.tunnels_for(ipaddress.IPv6Address("2001:db8:20::9"))
+        assert len(tunnels) == 4
+
+    def test_non_tango_destination_empty(self):
+        table = self.make_table()
+        assert table.tunnels_for(ipaddress.IPv6Address("2001:db8:99::9")) == []
+
+    def test_by_id(self):
+        table = self.make_table()
+        assert table.by_id(2).label == "GTT"
+        assert table.by_id(99) is None
+
+    def test_duplicate_path_id_rejected(self):
+        table = self.make_table()
+        tunnel = TangoTunnel(
+            path_id=0,
+            label="dup",
+            local_endpoint=ipaddress.IPv6Address("::1"),
+            remote_endpoint=ipaddress.IPv6Address("::2"),
+            remote_prefix=REMOTE[0],
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(HOST, tunnel)
+
+    def test_all_tunnels_sorted_by_id(self):
+        table = self.make_table()
+        assert [t.path_id for t in table.all_tunnels()] == [0, 1, 2, 3]
+
+    def test_len_and_prefixes(self):
+        table = self.make_table()
+        assert len(table) == 4
+        assert table.prefixes() == [HOST]

@@ -1,0 +1,249 @@
+"""Tests for delay processes, including property-based determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.delaymodels import (
+    AsymmetryEvent,
+    CompositeDelay,
+    ConstantDelay,
+    DiurnalVariation,
+    GaussianJitterDelay,
+    InstabilityEvent,
+    RouteChangeEvent,
+    SpikeProcess,
+    deterministic_normal,
+    deterministic_uniform,
+)
+
+
+class TestDeterministicNoise:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**62),
+        t=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_noise_is_pure_function_of_seed_and_time(self, seed, t):
+        times = np.asarray([t])
+        a = deterministic_uniform(seed, times)
+        b = deterministic_uniform(seed, times)
+        assert a[0] == b[0]
+        assert 0.0 < a[0] < 1.0
+
+    def test_different_seeds_differ(self):
+        times = np.arange(0, 10, 0.01)
+        a = deterministic_uniform(1, times)
+        b = deterministic_uniform(2, times)
+        assert not np.allclose(a, b)
+
+    def test_vectorized_matches_scalar(self):
+        times = np.arange(0, 1, 0.01)
+        vec = deterministic_uniform(5, times)
+        scalars = [float(deterministic_uniform(5, np.asarray([t]))[0]) for t in times]
+        np.testing.assert_allclose(vec, scalars)
+
+    def test_uniform_distribution_roughly_flat(self):
+        u = deterministic_uniform(9, np.arange(0, 100, 0.001))
+        assert abs(float(np.mean(u)) - 0.5) < 0.01
+        assert abs(float(np.std(u)) - (1 / 12) ** 0.5) < 0.01
+
+    def test_normal_moments(self):
+        z = deterministic_normal(11, np.arange(0, 100, 0.001))
+        assert abs(float(np.mean(z))) < 0.02
+        assert abs(float(np.std(z)) - 1.0) < 0.02
+
+
+class TestConstantDelay:
+    def test_constant_everywhere(self):
+        model = ConstantDelay(0.030)
+        assert model.delay_at(0.0) == 0.030
+        assert model.delay_at(1e6) == 0.030
+        assert model.floor == 0.030
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+
+class TestGaussianJitterDelay:
+    def test_mean_converges_to_base(self):
+        model = GaussianJitterDelay(0.028, 0.0003, seed=3)
+        delays = model.delays(np.arange(0, 60, 0.01))
+        assert float(np.mean(delays)) == pytest.approx(0.028, abs=1e-4)
+
+    def test_std_converges_to_sigma(self):
+        model = GaussianJitterDelay(0.028, 0.0003, seed=3)
+        delays = model.delays(np.arange(0, 60, 0.01))
+        assert float(np.std(delays)) == pytest.approx(0.0003, rel=0.1)
+
+    def test_never_below_floor(self):
+        model = GaussianJitterDelay(0.010, 0.005, seed=4)  # huge jitter
+        delays = model.delays(np.arange(0, 100, 0.01))
+        assert np.all(delays >= model.floor)
+
+    def test_zero_sigma_is_constant(self):
+        model = GaussianJitterDelay(0.020, 0.0, seed=5)
+        delays = model.delays(np.arange(0, 1, 0.01))
+        assert np.all(delays == 0.020)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25)
+    def test_deterministic_across_calls(self, seed):
+        model = GaussianJitterDelay(0.030, 0.001, seed=seed)
+        times = np.arange(0, 1, 0.05)
+        np.testing.assert_array_equal(model.delays(times), model.delays(times))
+
+
+class TestDiurnalVariation:
+    def test_nonnegative_and_bounded(self):
+        model = DiurnalVariation(amplitude=0.002)
+        delays = model.delays(np.arange(0, 86400, 60.0))
+        assert np.all(delays >= 0.0)
+        assert np.all(delays <= 0.002 + 1e-12)
+
+    def test_period_repeats(self):
+        model = DiurnalVariation(amplitude=0.002, period=3600.0)
+        assert model.delay_at(100.0) == pytest.approx(model.delay_at(3700.0))
+
+    def test_mean_is_half_amplitude(self):
+        model = DiurnalVariation(amplitude=0.004, period=100.0)
+        delays = model.delays(np.arange(0, 100, 0.01))
+        assert float(np.mean(delays)) == pytest.approx(0.002, abs=1e-5)
+
+
+class TestSpikeProcess:
+    def test_spike_rate_approximately_honored(self):
+        model = SpikeProcess(
+            rate_per_second=50.0, min_magnitude=0.01, max_magnitude=0.05, seed=6
+        )
+        times = np.arange(0, 100, 0.0001)
+        delays = model.delays(times)
+        spike_fraction = float(np.mean(delays > 0))
+        assert spike_fraction == pytest.approx(50.0 * 1e-4, rel=0.2)
+
+    def test_magnitudes_in_range(self):
+        model = SpikeProcess(
+            rate_per_second=1000.0, min_magnitude=0.01, max_magnitude=0.05, seed=7
+        )
+        delays = model.delays(np.arange(0, 10, 0.0001))
+        spikes = delays[delays > 0]
+        assert spikes.size > 0
+        assert np.all(spikes >= 0.01)
+        assert np.all(spikes <= 0.05)
+
+    def test_invalid_magnitudes_rejected(self):
+        with pytest.raises(ValueError):
+            SpikeProcess(1.0, min_magnitude=0.05, max_magnitude=0.01)
+
+
+class TestRouteChangeEvent:
+    def make(self):
+        return RouteChangeEvent(
+            start=100.0, duration=600.0, shift=0.005, transition=30.0
+        )
+
+    def test_zero_outside_window(self):
+        event = self.make()
+        times = np.asarray([0.0, 99.9, 700.1, 1e6])
+        np.testing.assert_array_equal(event.extra_delays(times), 0.0)
+
+    def test_plateau_is_exact_shift(self):
+        event = self.make()
+        times = np.arange(140.0, 690.0, 1.0)
+        np.testing.assert_allclose(event.extra_delays(times), 0.005)
+
+    def test_transition_is_erratic_but_bounded(self):
+        event = self.make()
+        times = np.arange(100.0, 130.0, 0.01)
+        extra = event.extra_delays(times)
+        assert np.all(extra >= 0.0)
+        assert np.all(extra <= event.churn_max)
+        assert float(np.std(extra)) > 0.0
+
+    def test_transition_longer_than_duration_rejected(self):
+        with pytest.raises(ValueError):
+            RouteChangeEvent(start=0.0, duration=10.0, transition=20.0)
+
+    def test_active_during_overlap_detection(self):
+        event = self.make()
+        assert event.active_during(0.0, 200.0)
+        assert event.active_during(650.0, 800.0)
+        assert not event.active_during(0.0, 100.0)
+        assert not event.active_during(700.0, 800.0)
+
+
+class TestInstabilityEvent:
+    def make(self):
+        return InstabilityEvent(
+            start=1000.0,
+            duration=300.0,
+            spike_probability=0.05,
+            spike_min=0.010,
+            spike_max=0.050,
+            minor_max=0.002,
+            seed=8,
+        )
+
+    def test_zero_outside_window(self):
+        event = self.make()
+        np.testing.assert_array_equal(
+            event.extra_delays(np.asarray([999.0, 1300.1])), 0.0
+        )
+
+    def test_spikes_reach_near_max(self):
+        event = self.make()
+        extra = event.extra_delays(np.arange(1000.0, 1300.0, 0.001))
+        assert float(np.max(extra)) > 0.045
+
+    def test_spike_fraction_near_probability(self):
+        event = self.make()
+        extra = event.extra_delays(np.arange(1000.0, 1300.0, 0.0001))
+        fraction = float(np.mean(extra >= 0.010))
+        assert fraction == pytest.approx(0.05, rel=0.15)
+
+    def test_non_spike_samples_have_minor_bump(self):
+        event = self.make()
+        extra = event.extra_delays(np.arange(1000.0, 1300.0, 0.001))
+        minor = extra[(extra > 0) & (extra < 0.010)]
+        assert minor.size > 0
+        assert np.all(minor <= 0.002)
+
+
+class TestAsymmetryEvent:
+    def test_constant_shift_inside_window_only(self):
+        event = AsymmetryEvent(start=10.0, duration=5.0, shift=0.003)
+        times = np.asarray([9.9, 10.0, 12.5, 14.99, 15.0])
+        np.testing.assert_allclose(
+            event.extra_delays(times), [0.0, 0.003, 0.003, 0.003, 0.0]
+        )
+
+
+class TestCompositeDelay:
+    def test_sums_base_components_events(self):
+        model = CompositeDelay(
+            base=ConstantDelay(0.028),
+            components=(ConstantDelay(0.001),),
+            events=(AsymmetryEvent(start=0.0, duration=100.0, shift=0.002),),
+        )
+        assert model.delay_at(50.0) == pytest.approx(0.031)
+        assert model.delay_at(200.0) == pytest.approx(0.029)
+
+    def test_floor_comes_from_base(self):
+        model = CompositeDelay(base=ConstantDelay(0.028))
+        assert model.floor == 0.028
+
+    def test_with_event_is_non_destructive(self):
+        model = CompositeDelay(base=ConstantDelay(0.028))
+        extended = model.with_event(
+            AsymmetryEvent(start=0.0, duration=1.0, shift=0.01)
+        )
+        assert len(model.events) == 0
+        assert len(extended.events) == 1
+
+    def test_events_overlapping_query(self):
+        event = RouteChangeEvent(start=100.0, duration=50.0)
+        model = CompositeDelay(base=ConstantDelay(0.01), events=(event,))
+        assert model.events_overlapping(120.0, 130.0) == [event]
+        assert model.events_overlapping(200.0, 300.0) == []

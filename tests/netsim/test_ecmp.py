@@ -1,0 +1,56 @@
+"""Tests for ECMP hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.ecmp import ecmp_hash, select_index
+from repro.netsim.packet import FiveTuple
+
+
+def five(sport=1000, dport=2000, src="2001:db8::1", dst="2001:db8::2"):
+    return FiveTuple(src, dst, 17, sport, dport)
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert ecmp_hash(five()) == ecmp_hash(five())
+
+    def test_sensitive_to_every_field(self):
+        base = ecmp_hash(five())
+        assert ecmp_hash(five(sport=1001)) != base
+        assert ecmp_hash(five(dport=2001)) != base
+        assert ecmp_hash(five(src="2001:db8::3")) != base
+        assert ecmp_hash(five(dst="2001:db8::4")) != base
+
+    def test_salt_perturbs(self):
+        assert ecmp_hash(five(), salt=1) != ecmp_hash(five(), salt=2)
+
+    def test_result_is_32_bit(self):
+        assert 0 <= ecmp_hash(five()) <= 0xFFFFFFFF
+
+
+class TestSelectIndex:
+    @given(
+        sport=st.integers(min_value=0, max_value=65535),
+        fanout=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100)
+    def test_index_in_range(self, sport, fanout):
+        index = select_index(five(sport=sport), fanout)
+        assert 0 <= index < fanout
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            select_index(five(), 0)
+
+    def test_distribution_roughly_uniform(self):
+        counts = [0] * 4
+        for sport in range(4000):
+            counts[select_index(five(sport=sport), 4)] += 1
+        for count in counts:
+            assert count == pytest.approx(1000, rel=0.15)
+
+    def test_single_flow_always_same_index(self):
+        picks = {select_index(five(sport=777), 8) for _ in range(50)}
+        assert len(picks) == 1

@@ -1,0 +1,165 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.netsim.events import Simulator
+
+
+class TestScheduling:
+    def test_schedule_at_runs_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(start=1.0)
+        seen = []
+        sim.schedule_in(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator(start=5.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.schedule_in(-0.1, lambda: None)
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda: order.append(3))
+        sim.schedule_at(1.0, lambda: order.append(1))
+        sim.schedule_at(2.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_in(1.0, lambda: seen.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule_at(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append("a"))
+        victim = sim.schedule_at(1.0, lambda: seen.append("b"))
+        sim.schedule_at(1.0, lambda: seen.append("c"))
+        victim.cancel()
+        sim.run()
+        assert seen == ["a", "c"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_resumes(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(10.0, lambda: seen.append("late"))
+        sim.run(until=5.0)
+        assert seen == []
+        sim.run()
+        assert seen == ["late"]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        count = [0]
+
+        def reschedule():
+            count[0] += 1
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_at(0.0, reschedule)
+        sim.run(max_events=10)
+        assert count[0] == 10
+
+    def test_step_runs_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(2.0, lambda: seen.append(2))
+        assert sim.step()
+        assert seen == [1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert not Simulator().step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(0.5, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        assert ticks == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_end_bound_respected(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now), end=2.5)
+        sim.run(until=10.0)
+        assert ticks == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_start_offset(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now), start=5.0)
+        sim.run(until=7.0)
+        assert ticks == pytest.approx([5.0, 6.0, 7.0])
+
+    def test_stop_halts_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        task.stop()
+        sim.run(until=10.0)
+        assert len(ticks) == 3
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Simulator().call_every(0.0, lambda: None)

@@ -1,0 +1,73 @@
+"""Tests for simulation and node wall clocks."""
+
+import pytest
+
+from repro.netsim.simclock import NodeClock, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now == 12.5
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.25)
+        assert clock.now == 3.25
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(4.999)
+
+
+class TestNodeClock:
+    def test_zero_offset_matches_sim_time(self):
+        sim = SimClock(10.0)
+        assert NodeClock(sim).now() == 10.0
+
+    def test_constant_offset_applied(self):
+        sim = SimClock(10.0)
+        clock = NodeClock(sim, offset=0.5)
+        assert clock.now() == pytest.approx(10.5)
+
+    def test_offset_is_constant_over_time(self):
+        """The paper's key assumption: the distortion never changes."""
+        sim = SimClock()
+        clock = NodeClock(sim, offset=0.125)
+        first = clock.now() - sim.now
+        sim.advance_to(86400.0)
+        second = clock.now() - sim.now
+        assert first == pytest.approx(second)
+
+    def test_drift_accumulates(self):
+        sim = SimClock()
+        clock = NodeClock(sim, offset=0.0, drift_ppm=50.0)
+        sim.advance_to(1_000_000.0)  # 50 ppm over 1e6 s = 50 s drift
+        assert clock.now() == pytest.approx(1_000_050.0)
+
+    def test_at_evaluates_arbitrary_times(self):
+        sim = SimClock()
+        clock = NodeClock(sim, offset=1.0)
+        assert clock.at(5.0) == pytest.approx(6.0)
+
+    def test_now_ns_quantizes_to_nanoseconds(self):
+        sim = SimClock(1.0000000009)
+        clock = NodeClock(sim)
+        assert clock.now_ns() == 1_000_000_001
+
+    def test_two_clocks_relative_offset(self):
+        """Measured OWD distortion equals offset difference, always."""
+        sim = SimClock()
+        sender = NodeClock(sim, offset=0.0032)
+        receiver = NodeClock(sim, offset=-0.0013)
+        for t in (0.0, 3.7, 9999.0):
+            sim.advance_to(t)
+            assert receiver.now() - sender.now() == pytest.approx(-0.0045)

@@ -1,0 +1,145 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.netsim.events import Simulator
+from repro.netsim.trace import (
+    DroneTelemetryWorkload,
+    PacketFactory,
+    PoissonTraffic,
+    ProbeGenerator,
+)
+
+FACTORY = PacketFactory(src="2001:db8:10::2", dst="2001:db8:20::2")
+
+
+class TestPacketFactory:
+    def test_builds_ipv6_udp_packet(self):
+        packet = FACTORY.build()
+        assert str(packet.src) == "2001:db8:10::2"
+        assert str(packet.dst) == "2001:db8:20::2"
+        assert packet.five_tuple().dport == 50000
+
+    def test_each_build_is_fresh(self):
+        a, b = FACTORY.build(), FACTORY.build()
+        assert a.packet_id != b.packet_id
+
+
+class TestProbeGenerator:
+    def test_emits_at_interval(self):
+        sim = Simulator()
+        sent = []
+        gen = ProbeGenerator(sim, FACTORY, sent.append, interval=0.010)
+        gen.start()
+        sim.run(until=0.1)
+        assert len(sent) == 11  # t=0.00 .. 0.10 inclusive
+        assert gen.sent == 11
+
+    def test_start_at_future_time(self):
+        sim = Simulator()
+        sent = []
+        gen = ProbeGenerator(sim, FACTORY, sent.append, interval=0.010)
+        gen.start(at=0.05)
+        sim.run(until=0.1)
+        assert len(sent) == 6
+
+    def test_until_bound(self):
+        sim = Simulator()
+        sent = []
+        gen = ProbeGenerator(sim, FACTORY, sent.append, interval=0.010)
+        gen.start(until=0.05)
+        sim.run(until=1.0)
+        assert len(sent) == 6
+
+    def test_stop(self):
+        sim = Simulator()
+        sent = []
+        gen = ProbeGenerator(sim, FACTORY, sent.append, interval=0.010)
+        gen.start()
+        sim.run(until=0.05)
+        gen.stop()
+        sim.run(until=1.0)
+        assert len(sent) == 6
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        gen = ProbeGenerator(sim, FACTORY, lambda p: None)
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()
+
+    def test_probes_carry_created_at(self):
+        sim = Simulator()
+        sent = []
+        ProbeGenerator(sim, FACTORY, sent.append, interval=0.010).start()
+        sim.run(until=0.02)
+        assert [p.created_at for p in sent] == pytest.approx([0.0, 0.01, 0.02])
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeGenerator(Simulator(), FACTORY, lambda p: None, interval=0.0)
+
+
+class TestPoissonTraffic:
+    def test_rate_approximately_honored(self):
+        sim = Simulator()
+        sent = []
+        traffic = PoissonTraffic(sim, FACTORY, sent.append, rate_pps=100.0, seed=1)
+        traffic.start(until=50.0)
+        sim.run()
+        assert len(sent) == pytest.approx(5000, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator()
+            sent = []
+            PoissonTraffic(sim, FACTORY, sent.append, 50.0, seed=seed).start(
+                until=10.0
+            )
+            sim.run()
+            return [p.created_at for p in sent]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_stop_halts_stream(self):
+        sim = Simulator()
+        sent = []
+        traffic = PoissonTraffic(sim, FACTORY, sent.append, 100.0, seed=2)
+        traffic.start()
+        sim.run(until=1.0)
+        count = len(sent)
+        traffic.stop()
+        sim.run(until=2.0)
+        assert len(sent) == count
+
+
+class TestDroneWorkload:
+    def test_rate_and_deadline_annotations(self):
+        sim = Simulator()
+        sent = []
+        workload = DroneTelemetryWorkload(
+            sim, FACTORY, sent.append, rate_hz=100.0, deadline_s=0.05
+        )
+        workload.start(until=1.0)
+        sim.run()
+        assert len(sent) == 101
+        assert all(p.meta["deadline_s"] == 0.05 for p in sent)
+
+    def test_bursts_inflate_payload(self):
+        sim = Simulator()
+        sent = []
+        workload = DroneTelemetryWorkload(
+            sim,
+            FACTORY,
+            sent.append,
+            rate_hz=100.0,
+            burst_every=10,
+            burst_multiplier=5,
+        )
+        workload.start(until=0.2)
+        sim.run()
+        sizes = {p.payload_bytes for p in sent}
+        assert sizes == {64, 320}
+        bursts = [p for p in sent if p.payload_bytes == 320]
+        assert len(bursts) == 2  # packets 10 and 20 of 21

@@ -1,0 +1,103 @@
+"""Tests for the distributed-enterprise scenario — and, implicitly, for
+the claim that nothing in the stack is Vultr-specific."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import LowestDelaySelector
+from repro.scenarios.enterprise import (
+    ACCESS_ISP_ASN,
+    BUSINESS_ISP_ASN,
+    EnterpriseDeployment,
+    build_enterprise_bgp,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    d = EnterpriseDeployment(include_events=False)
+    d.establish()
+    return d
+
+
+class TestControlPlane:
+    def test_three_paths_per_direction(self, deployment):
+        assert deployment.path_labels("factory") == ["NTT", "Telia", "Cogent"]
+        assert deployment.path_labels("hq") == ["NTT", "Telia", "Cogent"]
+
+    def test_no_shared_provider(self):
+        bgp = build_enterprise_bgp()
+        assert bgp.router("access-isp").asn == ACCESS_ISP_ASN
+        assert bgp.router("business-isp").asn == BUSINESS_ISP_ASN
+        assert ACCESS_ISP_ASN != BUSINESS_ISP_ASN
+
+    def test_each_side_drives_its_own_providers_communities(self, deployment):
+        """The suppression communities for factory→HQ paths are admin'd
+        by the HQ's provider (the announcer's side), and vice versa."""
+        state = deployment.state
+        for path in state.discovery_a_to_b.paths:  # factory -> hq
+            for community in path.communities:
+                assert community.global_admin == BUSINESS_ISP_ASN
+        for path in state.discovery_b_to_a.paths:  # hq -> factory
+            for community in path.communities:
+                assert community.global_admin == ACCESS_ISP_ASN
+
+
+class TestDataPlane:
+    def test_transatlantic_delays_measured(self, deployment):
+        deployment.start_path_probes("factory", interval_s=0.02)
+        deployment.net.run(until=2.0)
+        inbound = deployment.gateway("hq").inbound
+        offset = deployment.clock_offset_delta("factory")
+        means = {
+            p: float(np.mean(inbound.series(p).values)) - offset
+            for p in inbound.path_ids()
+        }
+        # Telia (~80 ms) fastest, Cogent (~97 ms) slowest.
+        assert means[1] < means[0] < means[2]
+        assert 0.078 < means[1] < 0.084
+
+    def test_adaptive_policy_rides_telia(self):
+        deployment = EnterpriseDeployment(include_events=False)
+        deployment.establish()
+        deployment.start_path_probes("factory", interval_s=0.02)
+        deployment.set_data_policy(
+            "factory",
+            LowestDelaySelector(
+                deployment.gateway("factory").outbound, window_s=1.0
+            ),
+        )
+        from repro.netsim.trace import PacketFactory
+
+        factory_cfg = deployment.pairing.edge("factory")
+        hq_cfg = deployment.pairing.edge("hq")
+        packet_factory = PacketFactory(
+            src=str(factory_cfg.host_address(3)),
+            dst=str(hq_cfg.host_address(3)),
+            flow_label=8,
+        )
+        send = deployment.sender_for("factory")
+        for i in range(40):
+            deployment.sim.schedule_at(
+                2.0 + i * 0.05, lambda: send(packet_factory.build())
+            )
+        deployment.net.run(until=5.0)
+        delivered = [
+            p
+            for p in deployment.hosts["hq"].received_packets
+            if p.flow_label == 8
+        ]
+        assert len(delivered) == 40
+        on_telia = [p for p in delivered if p.meta["tango_path_id"] == 1]
+        assert len(on_telia) > 36
+
+    def test_failure_injection_works_here_too(self):
+        deployment = EnterpriseDeployment(include_events=False)
+        deployment.establish()
+        deployment.fail_path("factory", "Telia", at=1.0)
+        deployment.start_path_probes("factory", interval_s=0.02)
+        deployment.net.run(until=3.0)
+        inbound = deployment.gateway("hq").inbound
+        telia = inbound.series(1)
+        # No Telia measurements arrive after the blackhole (+ in-flight).
+        assert float(telia.times[-1]) < 1.2

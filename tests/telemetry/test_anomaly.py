@@ -1,0 +1,131 @@
+"""Tests for online anomaly detectors, including detection of the
+paper's two Figure 4 events from the actual scenario processes."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios.vultr import (
+    INSTABILITY_HOUR,
+    NY_TO_LA_PATHS,
+    ROUTE_CHANGE_HOUR,
+)
+from repro.telemetry.anomaly import CusumDetector, SpikeClusterDetector
+
+
+def feed(detector, times, values):
+    events = []
+    for t, v in zip(times, values):
+        event = detector.update(float(t), float(v))
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestCusum:
+    def test_stable_series_never_fires(self):
+        detector = CusumDetector(drift=0.0005, threshold=0.01)
+        rng = np.random.default_rng(1)
+        values = 0.028 + rng.normal(0, 0.0001, 5000)
+        assert feed(detector, np.arange(5000) * 0.01, values) == []
+
+    def test_level_shift_detected_quickly(self):
+        detector = CusumDetector(drift=0.0005, threshold=0.01)
+        times = np.arange(2000) * 0.01
+        values = np.full(2000, 0.028)
+        values[1000:] = 0.033  # +5 ms shift at t=10
+        events = feed(detector, times, values)
+        assert events
+        assert events[0].kind == "shift-up"
+        assert 10.0 <= events[0].t <= 10.2  # within ~20 samples
+
+    def test_downward_shift_detected(self):
+        detector = CusumDetector(drift=0.0005, threshold=0.01)
+        times = np.arange(2000) * 0.01
+        values = np.full(2000, 0.033)
+        values[1000:] = 0.028
+        events = feed(detector, times, values)
+        assert events and events[0].kind == "shift-down"
+
+    def test_reanchors_and_detects_revert(self):
+        detector = CusumDetector(drift=0.0005, threshold=0.01, warmup=50)
+        times = np.arange(4000) * 0.01
+        values = np.full(4000, 0.028)
+        values[1000:3000] = 0.033
+        events = feed(detector, times, values)
+        kinds = [e.kind for e in events]
+        assert kinds == ["shift-up", "shift-down"]
+
+    def test_drift_tolerance_ignores_small_wobble(self):
+        detector = CusumDetector(drift=0.002, threshold=0.01)
+        times = np.arange(2000) * 0.01
+        values = np.full(2000, 0.028)
+        values[1000:] = 0.0295  # +1.5 ms < drift
+        assert feed(detector, times, values) == []
+
+    def test_detects_the_paper_route_change(self):
+        """Online detection of the Fig. 4-middle event on the real
+        scenario process."""
+        start = ROUTE_CHANGE_HOUR * 3600.0
+        times = np.arange(start - 120.0, start + 300.0, 0.01)
+        values = NY_TO_LA_PATHS["GTT"].build().delays(times)
+        detector = CusumDetector(drift=0.001, threshold=0.02)
+        events = feed(detector, times, values)
+        assert events
+        assert events[0].kind == "shift-up"
+        assert events[0].t - start < 35.0  # found during the transition
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CusumDetector(drift=-1.0)
+        with pytest.raises(ValueError):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            CusumDetector(warmup=1)
+
+
+class TestSpikeCluster:
+    def test_isolated_spike_ignored(self):
+        detector = SpikeClusterDetector(
+            spike_threshold=0.04, window_s=10.0, min_spikes=3
+        )
+        times = np.arange(3000) * 0.01
+        values = np.full(3000, 0.028)
+        values[1500] = 0.078
+        assert feed(detector, times, values) == []
+
+    def test_cluster_fires_once_with_cooldown(self):
+        detector = SpikeClusterDetector(
+            spike_threshold=0.04, window_s=5.0, min_spikes=3, cooldown_s=60.0
+        )
+        times = np.arange(3000) * 0.01
+        values = np.full(3000, 0.028)
+        values[1000:1200:20] = 0.070  # 10 spikes over 2 s
+        events = feed(detector, times, values)
+        assert len(events) == 1
+        assert events[0].kind == "spike-cluster"
+
+    def test_detects_the_paper_instability(self):
+        start = INSTABILITY_HOUR * 3600.0
+        times = np.arange(start - 60.0, start + 300.0, 0.01)
+        values = NY_TO_LA_PATHS["GTT"].build().delays(times)
+        detector = SpikeClusterDetector(
+            spike_threshold=0.040, window_s=10.0, min_spikes=3, cooldown_s=600.0
+        )
+        events = feed(detector, times, values)
+        assert len(events) == 1
+        assert 0.0 <= events[0].t - start <= 30.0  # near the window start
+
+    def test_quiet_paths_never_fire(self):
+        start = INSTABILITY_HOUR * 3600.0
+        times = np.arange(start, start + 300.0, 0.01)
+        values = NY_TO_LA_PATHS["Telia"].build().delays(times)
+        detector = SpikeClusterDetector(spike_threshold=0.040)
+        assert feed(detector, times, values) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SpikeClusterDetector(0.04, window_s=0.0)
+        with pytest.raises(ValueError):
+            SpikeClusterDetector(0.04, min_spikes=0)
+        with pytest.raises(ValueError):
+            SpikeClusterDetector(0.04, cooldown_s=-1.0)

@@ -1,0 +1,126 @@
+"""Tests for one-way delay analysis under unsynchronized clocks."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.oneway import (
+    DirectionalStore,
+    Ewma,
+    estimate_clock_offset,
+    rank_paths,
+    relative_delays,
+    summarize_path,
+)
+from repro.telemetry.store import MeasurementStore
+
+
+def store_with(paths: dict[int, float], offset=0.0, n=100):
+    """Paths with constant delays plus a shared clock offset."""
+    store = MeasurementStore()
+    times = np.arange(n) * 0.01
+    for path_id, delay in paths.items():
+        store.extend(path_id, times, np.full(n, delay + offset))
+    return store
+
+
+class TestEwma:
+    def test_first_sample_initializes(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.update(10.0) == 10.0
+
+    def test_converges_toward_new_level(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(0.0)
+        for _ in range(20):
+            ewma.update(10.0)
+        assert ewma.value == pytest.approx(10.0, abs=0.01)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    def test_reset(self):
+        ewma = Ewma()
+        ewma.update(5.0)
+        ewma.reset()
+        assert ewma.value is None
+
+
+class TestRelativeDelays:
+    def test_offset_cancels(self):
+        """The paper's core argument: relative comparisons are exact
+        regardless of the (unknown, constant) clock offset."""
+        delays = {0: 0.0364, 1: 0.0330, 2: 0.0280}
+        without = relative_delays(store_with(delays, offset=0.0), 0.0, 1.0)
+        with_offset = relative_delays(store_with(delays, offset=0.450), 0.0, 1.0)
+        for path_id in delays:
+            assert without[path_id] == pytest.approx(
+                with_offset[path_id], abs=1e-12
+            )
+
+    def test_best_path_reads_zero(self):
+        rel = relative_delays(store_with({0: 0.036, 2: 0.028}), 0.0, 1.0)
+        assert rel[2] == 0.0
+        assert rel[0] == pytest.approx(0.008)
+
+    def test_empty_store(self):
+        assert relative_delays(MeasurementStore(), 0.0, 1.0) == {}
+
+
+class TestRankPaths:
+    def test_ranked_best_first(self):
+        store = store_with({0: 0.036, 1: 0.033, 2: 0.028})
+        ranked = rank_paths(store, window_s=2.0, now=1.0)
+        assert [p for p, _ in ranked] == [2, 1, 0]
+
+    def test_ranking_invariant_to_offset(self):
+        a = rank_paths(store_with({0: 0.036, 2: 0.028}), 2.0, 1.0)
+        b = rank_paths(
+            store_with({0: 0.036, 2: 0.028}, offset=-0.2), 2.0, 1.0
+        )
+        assert [p for p, _ in a] == [p for p, _ in b]
+
+    def test_paths_without_fresh_data_excluded(self):
+        store = MeasurementStore()
+        store.record(1, 0.0, 0.030)
+        assert rank_paths(store, window_s=1.0, now=100.0) == []
+
+
+class TestClockOffsetEstimate:
+    def test_symmetric_paths_recover_offset(self):
+        # true delay 30 ms each way, offset +5 ms.
+        offset, true_owd = estimate_clock_offset(0.035, 0.025)
+        assert offset == pytest.approx(0.005)
+        assert true_owd == pytest.approx(0.030)
+
+    def test_asymmetry_corrupts_estimate(self):
+        """Why Tango does NOT rely on this: with asymmetric paths the
+        'offset' absorbs the asymmetry."""
+        # true fwd 40 ms, true rev 20 ms, zero offset.
+        offset, true_owd = estimate_clock_offset(0.040, 0.020)
+        assert offset == pytest.approx(0.010)  # wrong: real offset is 0
+        assert true_owd == pytest.approx(0.030)  # wrong for both directions
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        store = store_with({1: 0.030})
+        summary = summarize_path(store, 1, 0.0, 10.0)
+        assert summary.samples == 100
+        assert summary.mean_s == pytest.approx(0.030)
+        assert summary.as_row()["mean_ms"] == pytest.approx(30.0)
+
+    def test_summary_none_for_empty_window(self):
+        store = store_with({1: 0.030})
+        assert summarize_path(store, 1, 100.0, 200.0) is None
+
+
+class TestDirectionalStore:
+    def test_directions_kept_apart(self):
+        directional = DirectionalStore()
+        directional.record_forward(1, 0.0, 0.030)
+        directional.record_reverse(1, 0.0, 0.045)
+        assert directional.forward.series(1).mean() == pytest.approx(0.030)
+        assert directional.reverse.series(1).mean() == pytest.approx(0.045)

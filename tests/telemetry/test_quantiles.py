@@ -1,0 +1,83 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.quantiles import P2Quantile
+
+
+class TestBasics:
+    def test_invalid_quantile_rejected(self):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(P2Quantile(0.5).value)
+
+    def test_few_samples_exact(self):
+        estimator = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            estimator.update(v)
+        assert estimator.value == 2.0
+
+    def test_median_of_uniform_stream(self):
+        estimator = P2Quantile(0.5)
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(0, 1, 20000):
+            estimator.update(float(v))
+        assert estimator.value == pytest.approx(0.5, abs=0.02)
+
+    def test_p99_of_normal_stream(self):
+        estimator = P2Quantile(0.99)
+        rng = np.random.default_rng(1)
+        data = rng.normal(0.030, 0.001, 20000)
+        for v in data:
+            estimator.update(float(v))
+        exact = float(np.percentile(data, 99))
+        assert estimator.value == pytest.approx(exact, rel=0.02)
+
+    def test_tracks_owd_distribution_with_spikes(self):
+        """The use case: p99 of a spiky path without buffering samples."""
+        rng = np.random.default_rng(2)
+        base = rng.normal(0.028, 0.0001, 30000)
+        spikes = rng.uniform(0.040, 0.078, 600)
+        data = np.concatenate([base, spikes])
+        rng.shuffle(data)
+        estimator = P2Quantile(0.99)
+        for v in data:
+            estimator.update(float(v))
+        exact = float(np.percentile(data, 99))
+        assert estimator.value == pytest.approx(exact, rel=0.25)
+        # And crucially: it is far above the clean p50.
+        assert estimator.value > 0.030
+
+    def test_monotone_stream(self):
+        estimator = P2Quantile(0.5)
+        for v in range(1, 1001):
+            estimator.update(float(v))
+        assert estimator.value == pytest.approx(500.0, rel=0.05)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=6,
+            max_size=300,
+        ),
+        st.sampled_from([0.1, 0.5, 0.9]),
+    )
+    @settings(max_examples=50)
+    def test_estimate_within_observed_range(self, data, q):
+        """Property: the estimate never leaves [min, max] of the data."""
+        estimator = P2Quantile(q)
+        for v in data:
+            estimator.update(v)
+        assert min(data) <= estimator.value <= max(data)
+
+    def test_count_tracked(self):
+        estimator = P2Quantile(0.5)
+        for v in range(10):
+            estimator.update(float(v))
+        assert estimator.count == 10

@@ -1,0 +1,167 @@
+"""Tests for the time-series store, including growth properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.store import MeasurementStore, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_read_back(self):
+        series = TimeSeries()
+        series.append(1.0, 0.030)
+        series.append(2.0, 0.031)
+        np.testing.assert_array_equal(series.times, [1.0, 2.0])
+        np.testing.assert_array_equal(series.values, [0.030, 0.031])
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries()
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            series.append(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_growth_beyond_initial_capacity(self):
+        series = TimeSeries()
+        for i in range(5000):
+            series.append(float(i), float(i) * 2)
+        assert len(series) == 5000
+        assert series.values[4999] == 9998.0
+
+    def test_window_half_open(self):
+        series = TimeSeries()
+        for i in range(10):
+            series.append(float(i), float(i))
+        times, values = series.window(2.0, 5.0)
+        np.testing.assert_array_equal(times, [2.0, 3.0, 4.0])
+
+    def test_window_outside_range_empty(self):
+        series = TimeSeries()
+        series.append(1.0, 1.0)
+        times, values = series.window(5.0, 9.0)
+        assert times.size == 0
+
+    def test_latest(self):
+        series = TimeSeries()
+        for i in range(10):
+            series.append(float(i), float(i))
+        _, values = series.latest(3)
+        np.testing.assert_array_equal(values, [7.0, 8.0, 9.0])
+
+    def test_latest_invalid_count(self):
+        with pytest.raises(ValueError):
+            TimeSeries().latest(0)
+
+    def test_mean_and_percentile(self):
+        series = TimeSeries()
+        for i in range(1, 101):
+            series.append(float(i), float(i))
+        assert series.mean() == pytest.approx(50.5)
+        assert series.percentile(50) == pytest.approx(50.5)
+
+    def test_empty_stats_are_nan(self):
+        series = TimeSeries()
+        assert np.isnan(series.mean())
+        assert np.isnan(series.percentile(99))
+
+    def test_extend_bulk(self):
+        series = TimeSeries()
+        series.extend(np.arange(5.0), np.ones(5))
+        assert len(series) == 5
+
+    def test_extend_rejects_disorder(self):
+        series = TimeSeries()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            series.extend(np.asarray([2.0, 1.0]), np.ones(2))
+
+    def test_extend_rejects_backwards_relative_to_existing(self):
+        series = TimeSeries()
+        series.append(10.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            series.extend(np.asarray([5.0]), np.ones(1))
+
+    def test_extend_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            TimeSeries().extend(np.arange(3.0), np.ones(2))
+
+    def test_extend_empty_is_noop(self):
+        series = TimeSeries()
+        series.extend(np.asarray([]), np.asarray([]))
+        assert len(series) == 0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50)
+    def test_appends_preserve_all_samples(self, raw_times):
+        """Property: every appended sample is retrievable, in order."""
+        times = sorted(raw_times)
+        series = TimeSeries()
+        for i, t in enumerate(times):
+            series.append(t, float(i))
+        assert len(series) == len(times)
+        np.testing.assert_array_equal(series.times, times)
+
+    @given(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_window_subset_property(self, a, b):
+        """Property: window() returns exactly samples in [t0, t1)."""
+        t0, t1 = min(a, b), max(a, b)
+        series = TimeSeries()
+        all_times = np.arange(0.0, 100.0, 1.7)
+        series.extend(all_times, all_times)
+        times, _ = series.window(t0, t1)
+        expected = all_times[(all_times >= t0) & (all_times < t1)]
+        np.testing.assert_array_equal(times, expected)
+
+
+class TestMeasurementStore:
+    def test_record_and_series(self):
+        store = MeasurementStore()
+        store.record(1, 0.0, 0.030)
+        store.record(1, 0.01, 0.031)
+        assert len(store.series(1)) == 2
+
+    def test_path_ids_sorted_nonempty_only(self):
+        store = MeasurementStore()
+        store.record(3, 0.0, 1.0)
+        store.record(1, 0.0, 1.0)
+        store.series(7)  # created but empty
+        assert store.path_ids() == [1, 3]
+
+    def test_recent_delay_window(self):
+        store = MeasurementStore()
+        store.record(1, 0.0, 0.100)
+        store.record(1, 9.0, 0.030)
+        store.record(1, 9.5, 0.032)
+        assert store.recent_delay(1, window_s=1.0, now=9.6) == pytest.approx(
+            0.031
+        )
+
+    def test_recent_delay_none_when_no_fresh_samples(self):
+        store = MeasurementStore()
+        store.record(1, 0.0, 0.030)
+        assert store.recent_delay(1, window_s=1.0, now=100.0) is None
+
+    def test_recent_delay_unknown_path(self):
+        assert MeasurementStore().recent_delay(9, 1.0, 0.0) is None
+
+    def test_has_path(self):
+        store = MeasurementStore()
+        assert not store.has_path(1)
+        store.record(1, 0.0, 1.0)
+        assert store.has_path(1)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.direction == "ny"
+        assert args.start_hour == 25.0
+
+
+class TestCommands:
+    def test_discover_prints_figure3(self, capsys):
+        assert main(["discover"]) == 0
+        out = capsys.readouterr().out
+        assert "LA -> NY" in out
+        assert "NTT Cogent" in out
+        assert "20473:6000:2914" in out
+
+    def test_campaign_prints_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--hours",
+                    "0.02",
+                    "--interval",
+                    "0.1",
+                    "--no-events",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "GTT" in out
+        assert "mean_ms" in out
+
+    def test_mesh_prints_sweep(self, capsys):
+        assert main(["mesh", "--max-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Tango of N" in out
+
+    def test_failover_reports_recovery(self, capsys):
+        assert main(["failover", "--fail-at", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "tango recovered" in out
+        assert "BGP convergence" in out

@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+headline output.  Examples are documentation that executes; these tests
+keep them from rotting."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "discovered paths" in out
+        assert "NTT Cogent" in out
+        assert "clock-offset" in out
+
+    def test_adaptive_failover(self, capsys):
+        out = run_example("adaptive_failover.py", capsys)
+        assert "Telia" in out  # the detour
+        assert "path switches" in out
+
+    def test_tango_of_n(self, capsys):
+        out = run_example("tango_of_n.py", capsys)
+        assert "Tango of N" in out
+        assert "edge0->edge3" in out
+
+    @pytest.mark.slow
+    def test_drone_analytics(self, capsys):
+        out = run_example("drone_analytics.py", capsys)
+        assert "deadline performance" in out
+        assert "tango" in out
+
+    @pytest.mark.slow
+    def test_secure_telemetry(self, capsys):
+        out = run_example("secure_telemetry.py", capsys)
+        assert "forgery" in out
+        assert "rejected_forgeries" in out
+
+    @pytest.mark.slow
+    def test_network_slicing(self, capsys):
+        out = run_example("network_slicing.py", capsys)
+        assert "per-slice outcome" in out
+        assert "bulk" in out
+
+
+def test_examples_dir_is_complete():
+    """Every example on disk has a smoke test above."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {
+        "quickstart.py",
+        "adaptive_failover.py",
+        "tango_of_n.py",
+        "drone_analytics.py",
+        "secure_telemetry.py",
+        "network_slicing.py",
+    }
+    assert on_disk == tested
