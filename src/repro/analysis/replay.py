@@ -165,6 +165,12 @@ class PolicyReplay:
         choices = np.empty(probe_times.size, dtype=np.int64)
         switch_count = 0
         for i, epoch in enumerate(epochs):
+            # An epoch governing zero probes (past the last sample, or
+            # several decisions between two probes) can neither observe
+            # nor affect anything — skip it, so switch_count always
+            # equals the number of transitions visible in ``choices``.
+            if boundaries[i] == boundaries[i + 1]:
+                continue
             views = self._views(path_ids, epoch)
             chosen = chooser(views, current, float(epoch))
             if chosen not in path_ids:

@@ -43,6 +43,11 @@ class BgpNetwork:
         self.routers: dict[str, BgpRouter] = {}
         #: Directed session list (a, b): a may send updates to b.
         self._sessions: list[tuple[str, str]] = []
+        #: Session establishment parameters, keyed by the (a, b) order
+        #: :meth:`connect` was called with — what a session reset replays.
+        self._session_meta: dict[
+            tuple[str, str], tuple[Relationship, Optional[int], Optional[int]]
+        ] = {}
         self.total_rounds = 0
         self.convergence_count = 0
 
@@ -89,6 +94,11 @@ class BgpNetwork:
         )
         self._sessions.append((a, b))
         self._sessions.append((b, a))
+        self._session_meta[(a, b)] = (
+            relationship_of_b_to_a,
+            a_preference,
+            b_preference,
+        )
 
     def add_provider(
         self,
@@ -126,6 +136,41 @@ class BgpNetwork:
         self._sessions = [
             s for s in self._sessions if s not in ((a, b), (b, a))
         ]
+        self._session_meta.pop((a, b), None)
+        self._session_meta.pop((b, a), None)
+
+    def session_config(
+        self, a: str, b: str
+    ) -> tuple[str, str, Relationship, Optional[int], Optional[int]]:
+        """The parameters :meth:`connect` was called with for this session.
+
+        Returns ``(a, b, relationship_of_b_to_a, a_preference,
+        b_preference)`` normalized to the original call orientation, so the
+        tuple can be splatted straight back into :meth:`connect` — the
+        capture half of a fault injector's session-down/session-up pair.
+        """
+        if (a, b) in self._session_meta:
+            rel, a_pref, b_pref = self._session_meta[(a, b)]
+            return (a, b, rel, a_pref, b_pref)
+        if (b, a) in self._session_meta:
+            rel, b_pref, a_pref = self._session_meta[(b, a)]
+            return (b, a, rel, b_pref, a_pref)
+        raise KeyError(f"no session between {a!r} and {b!r}")
+
+    def reset_session(self, a: str, b: str) -> tuple[int, int]:
+        """Bounce the a–b session: tear down, converge, re-establish, converge.
+
+        Models a BGP session reset (hold-timer expiry, operator clear):
+        routes learned over the session are withdrawn network-wide, then
+        re-announced once it comes back.  Returns the convergence round
+        counts of the (down, up) waves.
+        """
+        config = self.session_config(a, b)
+        self.disconnect(config[0], config[1])
+        down_rounds = self.converge()
+        self.connect(*config)
+        up_rounds = self.converge()
+        return down_rounds, up_rounds
 
     # -- propagation --------------------------------------------------------------
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``tango-repro <command>``.
 
-Five subcommands, each a self-contained run of one slice of the system:
+Six subcommands, each a self-contained run of one slice of the system:
 
 * ``discover`` — run Figure 3's iterative suppression discovery and print
   the path/community table per direction.
@@ -10,6 +10,11 @@ Five subcommands, each a self-contained run of one slice of the system:
   time Tango's reroute, compare with BGP convergence).
 * ``mesh`` — the Tango-of-N diversity sweep.
 * ``figures`` — export the Figure 4 data series as CSV.
+* ``faults`` — chaos campaigns: ``faults run --plan plan.json --seed N``
+  arms a deterministic fault plan against the deployment, runs the
+  quarantine-enabled controller, and prints the recovery log (identical
+  bytes for identical plan + seed); ``faults sample-plan`` prints a
+  template plan.
 
 Installed as a console script by ``pip install -e .``; also runnable as
 ``python -m repro.cli ...``.
@@ -68,6 +73,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument(
         "--out-dir", default="figures", help="output directory for CSVs"
+    )
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault-injection campaigns"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    run = faults_sub.add_parser(
+        "run", help="arm a fault plan and print the recovery log"
+    )
+    run.add_argument(
+        "--plan",
+        help="path to a FaultPlan JSON (default: the built-in demo plan)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="override the plan's seed"
+    )
+    run.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated run length in seconds (default: plan horizon + 10)",
+    )
+    run.add_argument(
+        "--out", help="also write the recovery log to this file"
+    )
+    run.add_argument(
+        "--transitions",
+        action="store_true",
+        help="append every quarantine state transition to the log",
+    )
+    faults_sub.add_parser(
+        "sample-plan", help="print a template fault plan as JSON"
     )
     return parser
 
@@ -217,6 +254,104 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_fault_plan():
+    from .faults import FaultEvent, FaultPlan
+
+    return FaultPlan(
+        name="blackhole-demo",
+        seed=7,
+        events=(
+            FaultEvent(
+                "link_blackhole",
+                at=5.0,
+                duration=5.0,
+                params={"src": "ny", "path": "GTT"},
+            ),
+            FaultEvent(
+                "telemetry_drop",
+                at=16.0,
+                duration=2.0,
+                params={"edge": "ny"},
+            ),
+            FaultEvent(
+                "delay_spike",
+                at=20.0,
+                duration=3.0,
+                params={"src": "ny", "path": "Telia", "extra_ms": 25.0},
+            ),
+        ),
+    )
+
+
+def cmd_faults_sample_plan() -> int:
+    import json
+
+    print(json.dumps(json.loads(_demo_fault_plan().to_json()), indent=2))
+    return 0
+
+
+def cmd_faults_run(args: argparse.Namespace) -> int:
+    from .core.controller import QuarantinePolicy, TangoController
+    from .core.policy import LowestDelaySelector
+    from .faults import FaultInjector, FaultPlan, RecoveryLog
+    from .netsim.trace import PacketFactory
+    from .scenarios.vultr import VultrDeployment
+
+    if args.plan:
+        plan = FaultPlan.from_file(args.plan)
+    else:
+        plan = _demo_fault_plan()
+    if args.seed is not None:
+        plan = FaultPlan(name=plan.name, events=plan.events, seed=args.seed)
+
+    deployment = VultrDeployment(include_events=False)
+    deployment.establish()
+    controllers = {}
+    for edge in (deployment.pairing.a.name, deployment.pairing.b.name):
+        deployment.start_path_probes(edge)
+        deployment.set_data_policy(
+            edge,
+            LowestDelaySelector(deployment.gateway(edge).outbound, window_s=1.0),
+        )
+        controller = TangoController(
+            deployment.gateway(edge),
+            deployment.sim,
+            interval_s=0.1,
+            staleness_s=0.5,
+            quarantine=QuarantinePolicy(),
+        )
+        controller.start()
+        controllers[edge] = controller
+
+    # Background data stream per edge: reroute timings are about user
+    # traffic, and the selector only records choices for packets it sees.
+    for edge in (deployment.pairing.a.name, deployment.pairing.b.name):
+        peer = deployment.pairing.peer_of(edge)
+        factory = PacketFactory(
+            src=str(deployment.pairing.edge(edge).host_address(4)),
+            dst=str(peer.host_address(4)),
+            flow_label=9,
+        )
+        send = deployment.sender_for(edge)
+        deployment.sim.call_every(0.02, lambda f=factory, s=send: s(f.build()))
+
+    injector = FaultInjector(deployment, plan)
+    injector.arm()
+    horizon = (
+        args.duration if args.duration is not None else plan.horizon + 10.0
+    )
+    deployment.net.run(until=horizon)
+
+    log = RecoveryLog.build(plan, controllers)
+    text = log.format(controllers if args.transitions else None)
+    sys.stdout.write(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "discover":
@@ -229,6 +364,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_mesh(args)
     if args.command == "figures":
         return cmd_figures(args)
+    if args.command == "faults":
+        if args.faults_command == "run":
+            return cmd_faults_run(args)
+        if args.faults_command == "sample-plan":
+            return cmd_faults_sample_plan()
+        raise AssertionError(f"unhandled faults command {args.faults_command!r}")
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -10,19 +10,37 @@ software:
   decision trace that experiment reports plot against the delay series),
 * health checks: flagging tunnels that have gone quiet (no mirrored
   measurements within a staleness horizon), the trigger a deployment
-  would use to re-run discovery.
+  would use to re-run discovery,
+* graceful degradation: a quarantine state machine that evicts stale or
+  lossy tunnels from the data-plane candidate set (with hysteresis and
+  exponential-backoff re-probation) and, when *everything* is unhealthy,
+  falls back to the BGP-best tunnel — never worse than the status quo.
+
+Lifecycle contract: :meth:`TangoController.start` may be called again
+after :meth:`TangoController.stop`.  A (re)start resets all edge-trigger
+and quarantine runtime state — previously stale tunnels re-fire
+``on_stale`` and quarantined tunnels are re-admitted pending a fresh
+verdict — while cumulative records (``choice_trace``, ``quarantine_log``,
+``ticks``) are preserved.  Calling ``start`` on a running controller
+remains an error.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..netsim.events import PeriodicTask, Simulator
 from ..telemetry.store import TimeSeries
 from .gateway import TangoGateway
+from .policy import GuardedSelector
 
-__all__ = ["TunnelHealth", "TangoController"]
+__all__ = [
+    "TunnelHealth",
+    "QuarantinePolicy",
+    "QuarantineEvent",
+    "TangoController",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +54,73 @@ class TunnelHealth:
     recent_loss: float
 
 
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Tuning knobs of the graceful-degradation state machine.
+
+    Attributes:
+        loss_threshold: recent loss fraction above which a tunnel counts
+            as unhealthy even while measurements stay fresh.
+        unhealthy_ticks: consecutive unhealthy control ticks before a
+            healthy tunnel is quarantined (hysteresis against one-tick
+            blips).
+        probation_delay_s: initial quarantine duration; once it elapses
+            the tunnel re-enters the candidate set on probation.
+        backoff_factor: multiplier applied to the quarantine duration on
+            every (re-)quarantine — repeat offenders wait longer.
+        max_probation_delay_s: backoff ceiling.
+        probation_ticks: consecutive healthy ticks on probation required
+            to fully restore the tunnel (and reset its backoff).
+    """
+
+    loss_threshold: float = 0.5
+    unhealthy_ticks: int = 2
+    probation_delay_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_probation_delay_s: float = 30.0
+    probation_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_threshold <= 1.0:
+            raise ValueError(
+                f"loss_threshold must be in [0, 1], got {self.loss_threshold}"
+            )
+        if self.unhealthy_ticks < 1:
+            raise ValueError("unhealthy_ticks must be >= 1")
+        if self.probation_delay_s <= 0:
+            raise ValueError("probation_delay_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_probation_delay_s < self.probation_delay_s:
+            raise ValueError("max_probation_delay_s below probation_delay_s")
+        if self.probation_ticks < 1:
+            raise ValueError("probation_ticks must be >= 1")
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One transition of the quarantine state machine — the raw material
+    recovery logs and MTTR metrics are computed from."""
+
+    t: float
+    path_id: int
+    label: str
+    action: str  # quarantine | probation | restore | fallback-on | fallback-off
+    cause: str = ""
+    backoff_s: float = 0.0
+
+
+@dataclass
+class _QuarantineRuntime:
+    """Mutable per-tunnel machine state (module-private)."""
+
+    state: str = "healthy"  # healthy | quarantined | probation
+    unhealthy_streak: int = 0
+    healthy_streak: int = 0
+    backoff_s: float = 0.0
+    probation_at: float = 0.0
+
+
 class TangoController:
     """Slow-path loop for one gateway.
 
@@ -45,6 +130,10 @@ class TangoController:
         interval_s: loop cadence.
         staleness_s: a tunnel with no mirrored measurement within this
             horizon is reported unhealthy.
+        on_stale: edge-triggered staleness hook (fires once per stale
+            transition; re-arms on recovery and on restart).
+        quarantine: enable graceful degradation with these parameters;
+            None (the default) keeps the controller report-only.
     """
 
     def __init__(
@@ -54,6 +143,7 @@ class TangoController:
         interval_s: float = 0.1,
         staleness_s: float = 2.0,
         on_stale: Optional[Callable[[TunnelHealth], None]] = None,
+        quarantine: Optional[QuarantinePolicy] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -68,11 +158,34 @@ class TangoController:
         #: the hook a deployment uses to alarm or re-run discovery.
         self.on_stale = on_stale
         self._stale_flags: dict[int, bool] = {}
+        self.quarantine_policy = quarantine
+        #: Path ids currently evicted from the data-plane candidate set.
+        #: Shared by reference with the installed :class:`GuardedSelector`.
+        self.quarantined: set[int] = set()
+        #: Every state-machine transition, in tick order — the recovery log
+        #: source (see ``repro.faults.recovery``).
+        self.quarantine_log: list[QuarantineEvent] = []
+        self._qstate: dict[int, _QuarantineRuntime] = {}
+        self._guard: Optional[GuardedSelector] = None
+        self._fallback_active = False
 
     def start(self) -> None:
-        """Begin the control loop."""
+        """Begin (or restart) the control loop.
+
+        Safe after :meth:`stop`: edge-trigger and quarantine runtime state
+        are reset so a tunnel that was stale or quarantined before the
+        restart is re-evaluated from scratch (and will re-fire
+        ``on_stale`` if still stale).  Cumulative traces are kept.
+        """
         if self._task is not None:
             raise RuntimeError("controller already started")
+        self._stale_flags.clear()
+        self._reset_quarantine_runtime()
+        if self.quarantine_policy is not None and self._guard is None:
+            self._guard = GuardedSelector(
+                self.gateway.data_selector, self.quarantined
+            )
+            self.gateway.set_data_selector(self._guard)
         self._task = self.sim.call_every(self.interval_s, self._tick)
 
     def stop(self) -> None:
@@ -80,25 +193,33 @@ class TangoController:
             self._task.stop()
             self._task = None
 
+    def _reset_quarantine_runtime(self) -> None:
+        self._qstate.clear()
+        self.quarantined.clear()
+        self._fallback_active = False
+
     def _tick(self) -> None:
         self.ticks += 1
         now = self.sim.now
         self.gateway.loss_monitor.sample(now)
-        selector = self.gateway.selector
-        last_choice = getattr(selector, "_last_choice", None)
-        if last_choice is None:
-            last_choice = getattr(selector, "index", -1)
-        self.choice_trace.append(now, float(last_choice))
+        choice = getattr(self.gateway.selector, "last_choice", None)
+        self.choice_trace.append(now, float(-1 if choice is None else choice))
+        needs_health = self.on_stale is not None or self.quarantine_policy
+        if not needs_health:
+            return
+        healths = self.health()
         if self.on_stale is not None:
-            self._check_staleness()
+            self._check_staleness(healths)
+        if self.quarantine_policy is not None:
+            self._quarantine_tick(healths, now)
 
-    def _check_staleness(self) -> None:
+    def _check_staleness(self, healths: list[TunnelHealth]) -> None:
         """Edge-triggered staleness notifications.
 
         A tunnel that has never been measured is not reported (it is
         still warming up); only a measured-then-silent tunnel fires.
         """
-        for health in self.health():
+        for health in healths:
             was_stale = self._stale_flags.get(health.path_id, False)
             if health.last_measurement_age_s is None:
                 continue
@@ -108,6 +229,110 @@ class TangoController:
             elif health.fresh:
                 self._stale_flags[health.path_id] = False
 
+    # -- quarantine state machine -------------------------------------------------
+
+    def _unhealthy_cause(self, health: TunnelHealth) -> Optional[str]:
+        """Why this tunnel counts as unhealthy, or None if it doesn't.
+
+        Warming-up tunnels (never measured) are exempt from the staleness
+        trigger, matching the edge-trigger semantics above.
+        """
+        if health.last_measurement_age_s is not None and not health.fresh:
+            return "stale"
+        if health.recent_loss > self.quarantine_policy.loss_threshold:
+            return "loss"
+        return None
+
+    def _quarantine_tick(self, healths: list[TunnelHealth], now: float) -> None:
+        policy = self.quarantine_policy
+        for health in healths:
+            runtime = self._qstate.setdefault(
+                health.path_id, _QuarantineRuntime(backoff_s=policy.probation_delay_s)
+            )
+            cause = self._unhealthy_cause(health)
+            if runtime.state == "healthy":
+                if cause is None:
+                    runtime.unhealthy_streak = 0
+                else:
+                    runtime.unhealthy_streak += 1
+                    if runtime.unhealthy_streak >= policy.unhealthy_ticks:
+                        self._enter_quarantine(health, runtime, now, cause)
+            elif runtime.state == "quarantined":
+                if now >= runtime.probation_at:
+                    runtime.state = "probation"
+                    runtime.healthy_streak = 0
+                    self.quarantined.discard(health.path_id)
+                    self._log(now, health, "probation")
+            elif runtime.state == "probation":
+                if cause is not None:
+                    self._enter_quarantine(health, runtime, now, cause)
+                else:
+                    runtime.healthy_streak += 1
+                    if runtime.healthy_streak >= policy.probation_ticks:
+                        runtime.state = "healthy"
+                        runtime.backoff_s = policy.probation_delay_s
+                        runtime.unhealthy_streak = 0
+                        self._log(now, health, "restore")
+        self._update_fallback(healths, now)
+
+    def _enter_quarantine(
+        self,
+        health: TunnelHealth,
+        runtime: _QuarantineRuntime,
+        now: float,
+        cause: str,
+    ) -> None:
+        policy = self.quarantine_policy
+        backoff = runtime.backoff_s or policy.probation_delay_s
+        runtime.state = "quarantined"
+        runtime.unhealthy_streak = 0
+        runtime.probation_at = now + backoff
+        runtime.backoff_s = min(
+            backoff * policy.backoff_factor, policy.max_probation_delay_s
+        )
+        self.quarantined.add(health.path_id)
+        self._log(now, health, "quarantine", cause=cause, backoff_s=backoff)
+
+    def _update_fallback(self, healths: list[TunnelHealth], now: float) -> None:
+        all_ids = {h.path_id for h in healths}
+        active = bool(all_ids) and all_ids <= self.quarantined
+        if active == self._fallback_active:
+            return
+        self._fallback_active = active
+        action = "fallback-on" if active else "fallback-off"
+        self.quarantine_log.append(
+            QuarantineEvent(t=now, path_id=-1, label="*", action=action)
+        )
+
+    def _log(
+        self,
+        now: float,
+        health: TunnelHealth,
+        action: str,
+        cause: str = "",
+        backoff_s: float = 0.0,
+    ) -> None:
+        self.quarantine_log.append(
+            QuarantineEvent(
+                t=now,
+                path_id=health.path_id,
+                label=health.label,
+                action=action,
+                cause=cause,
+                backoff_s=backoff_s,
+            )
+        )
+
+    def quarantine_state(self, path_id: int) -> str:
+        """Machine state for one tunnel: healthy | quarantined | probation."""
+        runtime = self._qstate.get(path_id)
+        return runtime.state if runtime is not None else "healthy"
+
+    @property
+    def fallback_active(self) -> bool:
+        """True while every tunnel is quarantined (BGP-best last resort)."""
+        return self._fallback_active
+
     # -- health -----------------------------------------------------------------
 
     def health(self) -> list[TunnelHealth]:
@@ -115,11 +340,8 @@ class TangoController:
         now = self.sim.now
         out = []
         for tunnel in self.gateway.tunnel_table.all_tunnels():
-            series = self.gateway.outbound.series(tunnel.path_id)
-            if len(series):
-                age = now - float(series.times[-1])
-            else:
-                age = None
+            last = self.gateway.outbound.last_time(tunnel.path_id)
+            age = None if last is None else now - last
             fresh = age is not None and age <= self.staleness_s
             out.append(
                 TunnelHealth(

@@ -26,7 +26,7 @@ from ..telemetry.auth import TelemetryAuthenticator
 from ..telemetry.loss import LossMonitor
 from ..telemetry.store import MeasurementStore
 from .config import EdgeConfig
-from .policy import StaticSelector
+from .policy import ApplicationSelector, StaticSelector
 from .tunnels import TangoTunnel, TunnelTable
 
 __all__ = ["TangoGateway"]
@@ -95,6 +95,29 @@ class TangoGateway:
     @property
     def selector(self):
         return self.sender.selector
+
+    @property
+    def data_selector(self):
+        """The selector deciding *data* traffic.
+
+        When probe streams are pinned through an
+        :class:`~repro.core.policy.ApplicationSelector`, data traffic is
+        its default class; otherwise it is the installed selector itself.
+        """
+        selector = self.sender.selector
+        if isinstance(selector, ApplicationSelector):
+            return selector.default
+        return selector
+
+    def set_data_selector(self, selector) -> None:
+        """Replace the data-traffic selector, leaving pinned probe classes
+        untouched — how the controller wraps the policy with a quarantine
+        guard without disturbing per-path measurement streams."""
+        current = self.sender.selector
+        if isinstance(current, ApplicationSelector):
+            current.default = selector
+        else:
+            self.sender.selector = selector
 
     # -- measurement plumbing -----------------------------------------------------
 

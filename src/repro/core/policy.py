@@ -31,7 +31,7 @@ import numpy as np
 from ..netsim.packet import Packet
 from ..telemetry.loss import LossMonitor
 from ..telemetry.store import MeasurementStore
-from .tunnels import TangoTunnel
+from .tunnels import TangoTunnel, bgp_best
 
 __all__ = [
     "StaticSelector",
@@ -40,6 +40,7 @@ __all__ = [
     "JitterAwareSelector",
     "LossAwareSelector",
     "ApplicationSelector",
+    "GuardedSelector",
 ]
 
 
@@ -50,6 +51,11 @@ class StaticSelector:
         if index < 0:
             raise ValueError(f"index must be non-negative, got {index}")
         self.index = index
+
+    @property
+    def last_choice(self) -> Optional[int]:
+        """The pinned index (a static selector never changes its mind)."""
+        return self.index
 
     def select(
         self, tunnels: Sequence[TangoTunnel], packet: Packet, now: float
@@ -79,6 +85,11 @@ class _MeasuredSelector:
         self.decisions = 0
         self.switches = 0
         self._last_choice: Optional[int] = None
+
+    @property
+    def last_choice(self) -> Optional[int]:
+        """Path id of the most recent selection (None before the first)."""
+        return self._last_choice
 
     def _mean_delay(self, tunnel: TangoTunnel, now: float) -> Optional[float]:
         return self.store.recent_delay(tunnel.path_id, self.window_s, now)
@@ -266,8 +277,57 @@ class ApplicationSelector:
         """Bind a flow class to its own selector."""
         self.classes[flow_label] = selector
 
+    @property
+    def last_choice(self) -> Optional[int]:
+        """The default class's last choice (the data-traffic decision)."""
+        return getattr(self.default, "last_choice", None)
+
     def select(
         self, tunnels: Sequence[TangoTunnel], packet: Packet, now: float
     ) -> TangoTunnel:
         selector = self.classes.get(packet.flow_label, self.default)
         return selector.select(tunnels, packet, now)
+
+
+class GuardedSelector:
+    """Graceful-degradation wrapper: filter quarantined paths, then delegate.
+
+    The controller's quarantine state machine owns the ``quarantined`` set
+    (shared by reference); this wrapper applies it on the per-packet path:
+
+    * candidates in the set are evicted before the inner policy sees them;
+    * if *every* tunnel is quarantined, the BGP-best (default-path) tunnel
+      is offered as a last resort — identical to the pre-Tango status quo,
+      so total quarantine can never do worse than plain BGP.
+
+    Probes pinned via :class:`ApplicationSelector` classes bypass this
+    wrapper by construction, so quarantined paths keep being measured and
+    can prove themselves healthy again.
+    """
+
+    def __init__(self, inner, quarantined: Optional[set[int]] = None) -> None:
+        self.inner = inner
+        self.quarantined: set[int] = quarantined if quarantined is not None else set()
+        self.fallbacks = 0
+        self._last_choice: Optional[int] = None
+
+    @property
+    def last_choice(self) -> Optional[int]:
+        """Path id of the most recent selection (None before the first)."""
+        return self._last_choice
+
+    def select(
+        self, tunnels: Sequence[TangoTunnel], packet: Packet, now: float
+    ) -> TangoTunnel:
+        candidates = [t for t in tunnels if t.path_id not in self.quarantined]
+        if not candidates:
+            self.fallbacks += 1
+            candidates = [bgp_best(tunnels)]
+        try:
+            tunnel = self.inner.select(candidates, packet, now)
+        except IndexError:
+            # A static policy pinned past the filtered set degrades to the
+            # best surviving candidate instead of dropping traffic.
+            tunnel = bgp_best(candidates)
+        self._last_choice = tunnel.path_id
+        return tunnel

@@ -64,6 +64,25 @@ class TelemetryMirror:
         self.latency_s = latency_s
         self._copied: dict[int, int] = {}
         self.samples_mirrored = 0
+        self.samples_discarded = 0
+
+    def discard_before(self, t: float) -> int:
+        """Drop all not-yet-mirrored samples older than ``t`` — lost reports.
+
+        Fault injection uses this when un-silencing a mirror: reports that
+        would have been delivered during the outage window are gone, they
+        are not batched up and replayed.  Returns the number discarded.
+        """
+        discarded = 0
+        for path_id in self.source.path_ids():
+            series = self.source.series(path_id)
+            start = self._copied.get(path_id, 0)
+            cut = int(np.searchsorted(series.times, t, side="left"))
+            if cut > start:
+                self._copied[path_id] = cut
+                discarded += cut - start
+        self.samples_discarded += discarded
+        return discarded
 
     def sync(self, now: float) -> int:
         """Copy every source sample older than the latency horizon.
@@ -123,6 +142,8 @@ class TangoSession:
         self.sim = sim
         self.state: Optional[SessionState] = None
         self._mirror_tasks = []
+        #: edge name -> (mirror feeding that edge's outbound store, its task).
+        self._mirrors_by_edge: dict[str, tuple[TelemetryMirror, object]] = {}
 
     # -- control plane ------------------------------------------------------------
 
@@ -207,16 +228,35 @@ class TangoSession:
             latency_s=latency,
         )
         interval = self.pairing.report_interval_s
-        self._mirror_tasks.append(
-            self.sim.call_every(interval, lambda: mirror_to_a.sync(self.sim.now))
+        task_a = self.sim.call_every(
+            interval, lambda: mirror_to_a.sync(self.sim.now)
         )
-        self._mirror_tasks.append(
-            self.sim.call_every(interval, lambda: mirror_to_b.sync(self.sim.now))
+        task_b = self.sim.call_every(
+            interval, lambda: mirror_to_b.sync(self.sim.now)
         )
+        self._mirror_tasks += [task_a, task_b]
+        self._mirrors_by_edge[self.pairing.a.name] = (mirror_to_a, task_a)
+        self._mirrors_by_edge[self.pairing.b.name] = (mirror_to_b, task_b)
         return mirror_to_a, mirror_to_b
+
+    def mirror_to(self, edge_name: str) -> tuple[TelemetryMirror, object]:
+        """The mirror (and its task) feeding ``edge_name``'s outbound store.
+
+        This is the OWD reflection that edge's policies and health checks
+        depend on — the handle a fault injector silences to simulate
+        telemetry loss.
+        """
+        try:
+            return self._mirrors_by_edge[edge_name]
+        except KeyError:
+            raise KeyError(
+                f"no mirror for edge {edge_name!r}; started mirrors: "
+                f"{sorted(self._mirrors_by_edge)}"
+            ) from None
 
     def stop(self) -> None:
         """Stop mirror tasks (teardown)."""
         for task in self._mirror_tasks:
             task.stop()
         self._mirror_tasks.clear()
+        self._mirrors_by_edge.clear()

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..bgp.attributes import LargeCommunity
 from ..netsim.packet import TANGO_UDP_PORT
 from .discovery import DiscoveredPath
 
-__all__ = ["TangoTunnel", "TunnelTable", "build_tunnels"]
+__all__ = ["TangoTunnel", "TunnelTable", "build_tunnels", "bgp_best"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,25 @@ class TangoTunnel:
 #: path ids are allocated as direction_base + index; stride keeps the two
 #: directions of a pairing (and multiple pairings) disjoint.
 _PATH_ID_STRIDE = 64
+
+
+def bgp_best(tunnels: Sequence[TangoTunnel]) -> TangoTunnel:
+    """The BGP-default tunnel of a candidate set — the last-resort path.
+
+    When every tunnel looks unhealthy, degrading to the path BGP itself
+    would use loses nothing relative to the status quo.  Falls back to the
+    lowest path id when no candidate is marked default (e.g. an already
+    filtered set).
+
+    Raises:
+        ValueError: on an empty candidate set.
+    """
+    if not tunnels:
+        raise ValueError("no tunnels to choose a BGP-best fallback from")
+    for tunnel in tunnels:
+        if tunnel.is_default_path:
+            return tunnel
+    return min(tunnels, key=lambda t: t.path_id)
 
 
 class TunnelTable:

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for Tango deployments.
+
+The paper's claim is about behavior *under failure* — route changes and
+instability "BGP cannot react to".  This package makes such failures a
+first-class, scriptable input:
+
+* :mod:`repro.faults.plan` — a declarative, seed-deterministic
+  :class:`FaultPlan`: a named list of timed :class:`FaultEvent`\\ s
+  (link blackholes, flaps, loss bursts, delay spikes, BGP session
+  outages, prefix withdraw/re-announce, telemetry-mirror loss, clock
+  steps), JSON round-trippable for CLI campaigns.
+* :mod:`repro.faults.injector` — :class:`FaultInjector` arms a plan on an
+  established :class:`~repro.scenarios.deployment.PacketLevelDeployment`.
+  Link-level faults become pure functions of simulation time (wrapping
+  the link's loss/delay processes), control-plane faults are scheduled
+  callbacks at fixed simulation times; either way a replay with the same
+  seed reproduces the campaign bit for bit.
+* :mod:`repro.faults.recovery` — :class:`RecoveryLog` joins a plan with
+  the controller's quarantine transitions into per-fault detection /
+  reroute / repair timings and the MTTR headline metric.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .recovery import RecoveryLog, RecoveryRecord
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "RecoveryLog",
+    "RecoveryRecord",
+]

@@ -1,0 +1,222 @@
+"""Arming fault plans on a live deployment.
+
+Two injection styles, chosen per fault kind:
+
+* **Pure time-function wraps** for link-level faults: the link's loss or
+  delay process is replaced by a wrapper that overrides it inside the
+  fault window (:class:`~repro.netsim.links.OverrideLoss`,
+  :func:`~repro.netsim.delaymodels.overlay`).  Nothing is scheduled;
+  determinism is structural.
+* **Scheduled callbacks at fixed simulation times** for control-plane
+  faults (BGP session outage, prefix withdraw/re-announce, telemetry
+  silence, clock steps).  The simulator's deterministic event ordering
+  makes replays exact.
+
+BGP faults additionally couple the control plane back to the data plane:
+after every (dis)connect wave the injector re-checks which tunnels' route
+prefixes are still reachable from the sending edge's tenant router and
+blackholes the wide-area links of withdrawn ones — traffic to a prefix
+the core no longer routes has nowhere to go.  (Simplification: a prefix
+that stays reachable over a *different* core path keeps its calibrated
+delay process.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..bgp.messages import as_prefix
+from ..netsim.delaymodels import AsymmetryEvent, overlay
+from ..netsim.links import ConstantLoss, LossModel, OverrideLoss
+from .plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.deployment import PacketLevelDeployment
+
+__all__ = ["FaultInjector"]
+
+
+def _mix(seed: int, index: int) -> int:
+    """Per-event draw stream: decorrelate events of one plan."""
+    return (seed * 0x9E3779B1 + index * 0x85EBCA77) & 0x7FFFFFFF
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` on an established deployment.
+
+    Args:
+        deployment: a :class:`~repro.scenarios.deployment.PacketLevelDeployment`
+            after ``establish()`` — tunnels and wide-area links must exist.
+        plan: the campaign to arm.
+
+    Call :meth:`arm` exactly once, before (or during) the simulation run;
+    every event earlier than the current simulation time is rejected, so
+    a plan cannot silently lose its past.
+    """
+
+    def __init__(self, deployment: "PacketLevelDeployment", plan: FaultPlan) -> None:
+        if deployment.state is None:
+            raise RuntimeError("deployment must be established before arming faults")
+        self.deployment = deployment
+        self.plan = plan
+        self.armed: list[str] = []
+        self._bgp_saved_loss: dict[str, LossModel] = {}
+        self._armed = False
+
+    def arm(self) -> int:
+        """Arm every event of the plan.  Returns the number armed."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        now = self.deployment.sim.now
+        for index, event in enumerate(self.plan.timeline):
+            if event.at < now:
+                raise ValueError(
+                    f"fault at t={event.at} is in the past (now={now})"
+                )
+            handler = getattr(self, f"_arm_{event.kind}")
+            handler(event, index)
+            self.armed.append(f"{event.kind} {event.target} at={event.at:g}")
+        return len(self.armed)
+
+    # -- link-level faults: pure functions of time ---------------------------------
+
+    def _link(self, event: FaultEvent):
+        return self.deployment.wan_link(event.params["src"], event.params["path"])
+
+    def _arm_link_blackhole(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        link.loss = OverrideLoss.blackhole(link.loss, event.at, event.end)
+
+    def _arm_link_flap(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        link.loss = OverrideLoss.flapping(
+            link.loss,
+            event.at,
+            event.end,
+            period=float(event.params["period"]),
+            duty=float(event.params.get("duty", 0.5)),
+        )
+
+    def _arm_loss_burst(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        link.loss = OverrideLoss.burst(
+            link.loss,
+            event.at,
+            event.end,
+            rate=float(event.params["rate"]),
+            seed=_mix(self.plan.seed, index),
+        )
+
+    def _arm_delay_spike(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        link.delay = overlay(
+            link.delay,
+            AsymmetryEvent(
+                start=event.at,
+                duration=event.duration,
+                shift=float(event.params["extra_ms"]) * 1e-3,
+            ),
+        )
+
+    # -- control-plane faults: scheduled callbacks ---------------------------------
+
+    def _arm_bgp_session_down(self, event: FaultEvent, index: int) -> None:
+        bgp = self.deployment.bgp
+        sim = self.deployment.sim
+        a, b = str(event.params["a"]), str(event.params["b"])
+        saved: dict[str, tuple] = {}
+
+        def go_down() -> None:
+            saved["config"] = bgp.session_config(a, b)
+            bgp.disconnect(a, b)
+            bgp.converge()
+            self._sync_bgp_blackholes()
+
+        def come_up() -> None:
+            bgp.connect(*saved["config"])
+            bgp.converge()
+            self._sync_bgp_blackholes()
+
+        sim.schedule_at(event.at, go_down)
+        sim.schedule_at(event.end, come_up)
+
+    def _arm_prefix_withdraw(self, event: FaultEvent, index: int) -> None:
+        deployment = self.deployment
+        sim = deployment.sim
+        edge = deployment.pairing.edge(str(event.params["edge"]))
+        prefix_index = int(event.params["prefix_index"])
+        if not 0 <= prefix_index < len(edge.route_prefixes):
+            raise ValueError(
+                f"prefix_index {prefix_index} out of range for edge "
+                f"{edge.name!r} with {len(edge.route_prefixes)} route prefixes"
+            )
+        prefix = str(edge.route_prefixes[prefix_index])
+        router = deployment.bgp.router(edge.tenant_router)
+        saved: dict[str, object] = {}
+
+        def withdraw() -> None:
+            saved["attributes"] = router.originated.get(as_prefix(prefix))
+            router.withdraw_origination(prefix)
+            deployment.bgp.converge()
+            self._sync_bgp_blackholes()
+
+        def reannounce() -> None:
+            router.originate(prefix, saved.get("attributes"))
+            deployment.bgp.converge()
+            self._sync_bgp_blackholes()
+
+        sim.schedule_at(event.at, withdraw)
+        sim.schedule_at(event.end, reannounce)
+
+    def _arm_telemetry_drop(self, event: FaultEvent, index: int) -> None:
+        deployment = self.deployment
+        sim = deployment.sim
+        mirror, task = deployment.session.mirror_to(str(event.params["edge"]))
+
+        def silence() -> None:
+            task.pause()
+
+        def unsilence() -> None:
+            # Reports that should have been delivered during the outage
+            # are lost, not batched: discard everything already eligible.
+            mirror.discard_before(sim.now - mirror.latency_s)
+            task.resume()
+
+        sim.schedule_at(event.at, silence)
+        sim.schedule_at(event.end, unsilence)
+
+    def _arm_clock_step(self, event: FaultEvent, index: int) -> None:
+        deployment = self.deployment
+        sim = deployment.sim
+        switch = deployment.switches[str(event.params["edge"])]
+        step = float(event.params["step_ms"]) * 1e-3
+
+        def apply() -> None:
+            switch.clock.offset += step
+
+        def revert() -> None:
+            switch.clock.offset -= step
+
+        sim.schedule_at(event.at, apply)
+        if event.duration > 0:
+            sim.schedule_at(event.end, revert)
+
+    # -- BGP reachability -> data-plane coupling -----------------------------------
+
+    def _sync_bgp_blackholes(self) -> None:
+        """Blackhole wide-area links whose route prefix the core withdrew,
+        and restore them when reachability returns."""
+        deployment = self.deployment
+        for src in (deployment.pairing.a.name, deployment.pairing.b.name):
+            tenant = deployment.pairing.edge(src).tenant_router
+            for tunnel in deployment.tunnels(src):
+                link = deployment.wan_link(src, tunnel.short_label)
+                reachable = deployment.bgp.reachable(
+                    tenant, str(tunnel.remote_prefix)
+                )
+                if not reachable and link.name not in self._bgp_saved_loss:
+                    self._bgp_saved_loss[link.name] = link.loss
+                    link.loss = ConstantLoss(1.0)
+                elif reachable and link.name in self._bgp_saved_loss:
+                    link.loss = self._bgp_saved_loss.pop(link.name)

@@ -1,0 +1,182 @@
+"""Declarative fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is data, not code — it can be written as JSON, kept
+next to an experiment, and replayed exactly.  Determinism contract: a
+plan armed on a freshly built deployment and run with the same seed
+produces the identical packet-level outcome every time (the repo-wide
+invariant stated in ``repro.netsim.links``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+#: Kind -> parameters that must be present in ``FaultEvent.params``.
+_REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
+    "link_blackhole": ("src", "path"),
+    "link_flap": ("src", "path", "period"),
+    "loss_burst": ("src", "path", "rate"),
+    "delay_spike": ("src", "path", "extra_ms"),
+    "bgp_session_down": ("a", "b"),
+    "prefix_withdraw": ("edge", "prefix_index"),
+    "telemetry_drop": ("edge",),
+    "clock_step": ("edge", "step_ms"),
+}
+
+FAULT_KINDS = frozenset(_REQUIRED_PARAMS)
+
+#: Kinds that require a positive duration (a zero-length blackhole is a
+#: no-op and almost certainly a plan-authoring mistake).
+_NEEDS_DURATION = frozenset(
+    {
+        "link_blackhole",
+        "link_flap",
+        "loss_burst",
+        "delay_spike",
+        "bgp_session_down",
+        "prefix_withdraw",
+        "telemetry_drop",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        at: onset, in simulation seconds.
+        duration: how long the fault persists; the injector clears it at
+            ``at + duration``.  ``clock_step`` treats 0 as permanent.
+        params: kind-specific parameters (see ``_REQUIRED_PARAMS``), e.g.
+            ``src``/``path`` naming a wide-area link, ``rate`` for bursts.
+    """
+
+    kind: str
+    at: float
+    duration: float = 0.0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; have {sorted(FAULT_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault onset must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.kind in _NEEDS_DURATION and self.duration <= 0:
+            raise ValueError(f"{self.kind} fault needs a positive duration")
+        missing = [
+            name for name in _REQUIRED_PARAMS[self.kind] if name not in self.params
+        ]
+        if missing:
+            raise ValueError(
+                f"{self.kind} fault missing parameter(s): {', '.join(missing)}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def end(self) -> float:
+        return self.at + self.duration
+
+    @property
+    def target(self) -> str:
+        """Human-readable target, e.g. ``ny:GTT`` — used in recovery logs."""
+        p = self.params
+        if "path" in p:
+            return f"{p['src']}:{p['path']}"
+        if "a" in p:
+            return f"{p['a']}~{p['b']}"
+        if "prefix_index" in p:
+            return f"{p['edge']}:route[{p['prefix_index']}]"
+        return str(p.get("edge", "?"))
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.duration:
+            out["duration"] = self.duration
+        out.update(sorted(self.params.items()))
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered chaos campaign: events plus the seed that replays it.
+
+    Events are stored in authoring order; :attr:`timeline` yields them
+    sorted by onset (ties broken by authoring order), which is the order
+    the injector arms them in.
+    """
+
+    name: str
+    events: tuple[FaultEvent, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("plan needs a non-empty name")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def timeline(self) -> tuple[FaultEvent, ...]:
+        indexed = sorted(enumerate(self.events), key=lambda p: (p[1].at, p[0]))
+        return tuple(event for _, event in indexed)
+
+    @property
+    def horizon(self) -> float:
+        """When the last fault has cleared (0.0 for an empty plan)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    # -- JSON round trip ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Stable serialization: sorted keys, no insignificant whitespace."""
+        payload = {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [e.as_dict() for e in self.events],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        raw_events = payload.get("events", [])
+        if not isinstance(raw_events, list):
+            raise ValueError("fault plan 'events' must be a list")
+        events = []
+        for i, raw in enumerate(raw_events):
+            if not isinstance(raw, dict):
+                raise ValueError(f"event #{i} must be a JSON object")
+            entry = dict(raw)
+            try:
+                kind = entry.pop("kind")
+                at = float(entry.pop("at"))
+            except KeyError as exc:
+                raise ValueError(f"event #{i} missing field {exc}") from None
+            duration = float(entry.pop("duration", 0.0))
+            events.append(
+                FaultEvent(kind=kind, at=at, duration=duration, params=entry)
+            )
+        return cls(
+            name=str(payload.get("name", "unnamed")),
+            seed=int(payload.get("seed", 0)),
+            events=tuple(events),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

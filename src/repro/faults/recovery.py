@@ -1,0 +1,215 @@
+"""Recovery logs: joining a fault plan with the controller's reactions.
+
+Metric definitions (also documented in EXPERIMENTS.md):
+
+* **detection** — first ``quarantine`` transition of the faulted path at
+  or after fault onset; ``detection_s`` is measured from onset.
+* **reroute** — first control tick at or after detection whose recorded
+  data-plane choice is *not* the faulted path; ``reroute_s`` (onset →
+  reroute) is the time user traffic kept hitting the fault.  **MTTR** is
+  the mean ``reroute_s`` over all detected path faults.
+* **repair** — first ``restore`` transition after the fault cleared;
+  ``repair_s`` (clear → restore) is how long backoff re-probation takes
+  to put the path back in service.
+
+Only path-targeted faults (``link_*``, ``loss_burst``, ``delay_spike``)
+carry these timings; control-plane faults are listed with ``-`` fields —
+their effects show up indirectly through the path faults they induce.
+
+All values are simulation times, so :meth:`RecoveryLog.format` output is
+byte-identical across replays of the same plan and seed — the property
+the CLI's ``faults run`` acceptance test pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.controller import TangoController
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["RecoveryRecord", "RecoveryLog"]
+
+#: Fault kinds whose target names a single wide-area path.
+_PATH_KINDS = frozenset({"link_blackhole", "link_flap", "loss_burst", "delay_spike"})
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.6f}"
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """Per-fault recovery timings (all absolute simulation seconds)."""
+
+    kind: str
+    target: str
+    at: float
+    cleared: float
+    detected_at: Optional[float] = None
+    rerouted_at: Optional[float] = None
+    restored_at: Optional[float] = None
+
+    @property
+    def detection_s(self) -> Optional[float]:
+        return None if self.detected_at is None else self.detected_at - self.at
+
+    @property
+    def reroute_s(self) -> Optional[float]:
+        return None if self.rerouted_at is None else self.rerouted_at - self.at
+
+    @property
+    def repair_s(self) -> Optional[float]:
+        return None if self.restored_at is None else self.restored_at - self.cleared
+
+    def as_line(self) -> str:
+        return " ".join(
+            (
+                self.kind,
+                self.target,
+                _fmt(self.at),
+                _fmt(self.cleared),
+                _fmt(self.detected_at),
+                _fmt(self.rerouted_at),
+                _fmt(self.restored_at),
+                _fmt(self.detection_s),
+                _fmt(self.reroute_s),
+                _fmt(self.repair_s),
+            )
+        )
+
+
+class RecoveryLog:
+    """The outcome of one chaos campaign against one or more controllers."""
+
+    def __init__(self, plan: FaultPlan, records: list[RecoveryRecord]) -> None:
+        self.plan = plan
+        self.records = records
+
+    @classmethod
+    def build(
+        cls, plan: FaultPlan, controllers: Mapping[str, TangoController]
+    ) -> "RecoveryLog":
+        """Join ``plan`` with quarantine transitions and choice traces.
+
+        Args:
+            plan: the armed campaign.
+            controllers: sending-edge name -> that edge's controller (the
+                edge named by each path fault's ``src`` parameter).
+        """
+        records = []
+        for event in plan.timeline:
+            records.append(cls._record_for(event, controllers))
+        return cls(plan, records)
+
+    @staticmethod
+    def _record_for(
+        event: FaultEvent, controllers: Mapping[str, TangoController]
+    ) -> RecoveryRecord:
+        base = RecoveryRecord(
+            kind=event.kind, target=event.target, at=event.at, cleared=event.end
+        )
+        if event.kind not in _PATH_KINDS:
+            return base
+        controller = controllers.get(str(event.params["src"]))
+        if controller is None:
+            return base
+        path_id = _path_id_for(controller, str(event.params["path"]))
+        if path_id is None:
+            return base
+        detected_at = next(
+            (
+                q.t
+                for q in controller.quarantine_log
+                if q.path_id == path_id
+                and q.action == "quarantine"
+                and q.t >= event.at
+            ),
+            None,
+        )
+        rerouted_at = None
+        if detected_at is not None:
+            times = controller.choice_trace.times
+            values = controller.choice_trace.values
+            for t, choice in zip(times, values):
+                if t >= detected_at and choice != float(path_id) and choice >= 0:
+                    rerouted_at = float(t)
+                    break
+        restored_at = next(
+            (
+                q.t
+                for q in controller.quarantine_log
+                if q.path_id == path_id
+                and q.action == "restore"
+                and q.t >= event.end
+            ),
+            None,
+        )
+        return RecoveryRecord(
+            kind=event.kind,
+            target=event.target,
+            at=event.at,
+            cleared=event.end,
+            detected_at=detected_at,
+            rerouted_at=rerouted_at,
+            restored_at=restored_at,
+        )
+
+    # -- summary metrics ----------------------------------------------------------
+
+    def mttr(self) -> Optional[float]:
+        """Mean time-to-reroute over detected path faults (None if none)."""
+        samples = [r.reroute_s for r in self.records if r.reroute_s is not None]
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    @property
+    def detected_count(self) -> int:
+        return sum(1 for r in self.records if r.detected_at is not None)
+
+    @property
+    def path_fault_count(self) -> int:
+        return sum(1 for r in self.records if r.kind in _PATH_KINDS)
+
+    # -- deterministic rendering --------------------------------------------------
+
+    def format(
+        self, controllers: Optional[Mapping[str, TangoController]] = None
+    ) -> str:
+        """Render the log; byte-identical for identical (plan, seed) runs.
+
+        When ``controllers`` is given, every quarantine transition is
+        appended after the per-fault table, keyed by edge name.
+        """
+        lines = [
+            "# tango-repro fault recovery log",
+            f"# plan={self.plan.name} seed={self.plan.seed} "
+            f"events={len(self.plan.events)}",
+            "# columns: kind target at cleared detected rerouted restored "
+            "detection_s reroute_s repair_s",
+        ]
+        lines += [record.as_line() for record in self.records]
+        mttr = self.mttr()
+        lines.append(
+            f"# mttr_s={_fmt(mttr)} "
+            f"detected={self.detected_count}/{self.path_fault_count}"
+        )
+        if controllers:
+            lines.append("# transitions")
+            for edge in sorted(controllers):
+                for q in controllers[edge].quarantine_log:
+                    lines.append(
+                        f"{edge} {q.t:.6f} path={q.path_id} label={q.label} "
+                        f"{q.action} cause={q.cause or '-'} "
+                        f"backoff={q.backoff_s:.6f}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _path_id_for(controller: TangoController, short_label: str) -> Optional[int]:
+    for tunnel in controller.gateway.tunnel_table.all_tunnels():
+        if tunnel.short_label == short_label or tunnel.label == short_label:
+            return tunnel.path_id
+    return None

@@ -41,6 +41,7 @@ __all__ = [
     "InstabilityEvent",
     "AsymmetryEvent",
     "CompositeDelay",
+    "overlay",
     "deterministic_uniform",
     "deterministic_normal",
 ]
@@ -391,3 +392,20 @@ class CompositeDelay(DelayModel):
     def events_overlapping(self, t0: float, t1: float) -> list[DelayEvent]:
         """Events whose windows intersect [t0, t1); used by reports."""
         return [e for e in self.events if e.active_during(t0, t1)]
+
+
+def overlay(model: DelayModel, *events: DelayEvent) -> CompositeDelay:
+    """Wrap any delay model with additional event overlays.
+
+    :class:`CompositeDelay` instances gain the events in place of a fresh
+    wrapper (so repeated injections don't nest); other models become the
+    base of a new composite.  This is how fault injection adds delay
+    spikes to an existing link without rebuilding its calibrated process.
+    """
+    if isinstance(model, CompositeDelay):
+        return CompositeDelay(
+            base=model.base,
+            components=tuple(model.components),
+            events=tuple(model.events) + tuple(events),
+        )
+    return CompositeDelay(base=model, events=tuple(events))

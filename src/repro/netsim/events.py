@@ -14,7 +14,7 @@ from typing import Callable, Optional
 
 from .simclock import SimClock
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "Simulator", "PeriodicTask"]
 
 
 class Event:
@@ -177,9 +177,10 @@ class PeriodicTask:
         self._end = end
         self._event: Optional[Event] = None
         self._stopped = False
+        self._paused = False
 
     def _arm(self, time: float) -> None:
-        if self._stopped:
+        if self._stopped or self._paused:
             return
         # Tolerate float accumulation: N * interval can exceed `end` by
         # an ulp, which would silently drop the final tick.
@@ -192,6 +193,35 @@ class PeriodicTask:
             return
         self._callback()
         self._arm(self._sim.now + self._interval)
+
+    def pause(self) -> None:
+        """Suspend firing without tearing the task down.
+
+        Unlike :meth:`stop`, a paused task can be resumed later; fault
+        injection uses this to silence a telemetry mirror for a window.
+        Pausing an already-paused or stopped task is a no-op.
+        """
+        if self._stopped or self._paused:
+            return
+        self._paused = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def resume(self) -> None:
+        """Resume a paused task; the next firing is one interval from now.
+
+        Occurrences skipped while paused are *not* replayed — a silenced
+        reporter loses its reports, it does not batch them.
+        """
+        if self._stopped or not self._paused:
+            return
+        self._paused = False
+        self._arm(self._sim.now + self._interval)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
 
     def stop(self) -> None:
         """Stop firing; any queued occurrence is cancelled."""

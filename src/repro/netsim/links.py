@@ -24,7 +24,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .events import Simulator
     from .node import Node
 
-__all__ = ["LossModel", "ConstantLoss", "WindowedLoss", "Link", "LinkStats"]
+__all__ = [
+    "LossModel",
+    "ConstantLoss",
+    "WindowedLoss",
+    "OverrideLoss",
+    "Link",
+    "LinkStats",
+]
 
 
 class LossModel:
@@ -98,6 +105,80 @@ class WindowedLoss(LossModel):
             if start <= t < end:
                 return self.elevated
         return self.baseline
+
+
+@dataclass(frozen=True)
+class OverrideLoss(LossModel):
+    """Time-windowed loss override wrapping another loss process.
+
+    Inside any of the (start, end) ``windows`` the override ``rate``
+    applies (with its own draw stream, so injected faults never perturb
+    the baseline loss draws); outside them the wrapped model is consulted
+    unchanged.  This is the primitive behind fault injection — blackholes
+    (rate 1.0), flaps (periodic windows), and loss bursts are all pure
+    functions of time, so a replayed campaign drops exactly the same
+    packets.
+    """
+
+    inner: LossModel
+    windows: tuple[tuple[float, float], ...]
+    rate: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"override rate must be in [0, 1], got {self.rate}")
+        for start, end in self.windows:
+            if end < start:
+                raise ValueError(f"window end before start: ({start}, {end})")
+
+    @classmethod
+    def blackhole(cls, inner: LossModel, start: float, end: float) -> "OverrideLoss":
+        """Total loss inside [start, end)."""
+        return cls(inner=inner, windows=((start, end),), rate=1.0)
+
+    @classmethod
+    def flapping(
+        cls,
+        inner: LossModel,
+        start: float,
+        end: float,
+        period: float,
+        duty: float = 0.5,
+    ) -> "OverrideLoss":
+        """Link up/down cycling: down for ``duty`` of every ``period``."""
+        if period <= 0:
+            raise ValueError(f"flap period must be positive, got {period}")
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1], got {duty}")
+        windows = []
+        t = start
+        while t < end:
+            windows.append((t, min(t + period * duty, end)))
+            t += period
+        return cls(inner=inner, windows=tuple(windows), rate=1.0)
+
+    @classmethod
+    def burst(
+        cls, inner: LossModel, start: float, end: float, rate: float, seed: int = 0
+    ) -> "OverrideLoss":
+        """Elevated (partial) random loss inside [start, end)."""
+        return cls(inner=inner, windows=((start, end),), rate=rate, seed=seed)
+
+    def _active(self, t: float) -> bool:
+        return any(start <= t < end for start, end in self.windows)
+
+    def loss_probability(self, t: float) -> float:
+        if self._active(t):
+            return self.rate
+        return self.inner.loss_probability(t)
+
+    def drops(self, seed: int, t: float, nonce: int = 0) -> bool:
+        if self._active(t):
+            # Dedicated stream: a fault plan's seed decorrelates its draws
+            # from the link's baseline ones without disturbing them.
+            return super().drops(seed ^ self.seed, t, nonce)
+        return self.inner.drops(seed, t, nonce)
 
 
 @dataclass

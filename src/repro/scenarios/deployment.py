@@ -256,15 +256,17 @@ class PacketLevelDeployment:
 
     def fail_path(self, src: str, label: str, at: float) -> None:
         """Blackhole one wide-area path at simulation time ``at``."""
-        link = self._wan_link(src, label)
+        link = self.wan_link(src, label)
         self.sim.schedule_at(at, lambda: setattr(link, "loss", ConstantLoss(1.0)))
 
     def restore_path(self, src: str, label: str, at: float) -> None:
         """Undo :meth:`fail_path` at simulation time ``at``."""
-        link = self._wan_link(src, label)
+        link = self.wan_link(src, label)
         self.sim.schedule_at(at, lambda: setattr(link, "loss", ConstantLoss(0.0)))
 
-    def _wan_link(self, src: str, label: str):
+    def wan_link(self, src: str, label: str):
+        """The wide-area link carrying ``src``'s path ``label`` (KeyError
+        with the available names otherwise) — the fault injector's handle."""
         name = f"{src}->{self.peer_of(src)}:{label}"
         try:
             return self.net.links[name]

@@ -94,6 +94,17 @@ class TimeSeries:
         lo = max(self._size - count, 0)
         return self.times[lo:], self.values[lo:]
 
+    @property
+    def last_time(self) -> Optional[float]:
+        """Time of the most recent sample, or None when empty.
+
+        The freshness primitive: staleness checks (controller health,
+        quarantine decisions) are ``now - last_time`` comparisons.
+        """
+        if not self._size:
+            return None
+        return float(self._times[self._size - 1])
+
     def mean(self) -> float:
         """Mean value over the whole series (nan when empty)."""
         return float(np.mean(self.values)) if self._size else float("nan")
@@ -156,6 +167,13 @@ class MeasurementStore:
         if values.size == 0:
             return None
         return float(np.mean(values))
+
+    def last_time(self, path_id: int) -> Optional[float]:
+        """Time of ``path_id``'s most recent sample, or None if unmeasured."""
+        series = self._series.get(path_id)
+        if series is None:
+            return None
+        return series.last_time
 
     def items(self) -> Iterator[tuple[int, TimeSeries]]:
         return iter(sorted(self._series.items()))

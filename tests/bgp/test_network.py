@@ -184,3 +184,51 @@ class TestDisconnect:
         net.connect("origin", "left", Relationship.PROVIDER, a_preference=1)
         net.converge()
         assert net.best_path("sink", P).asns == (100,)
+
+
+class TestSessionConfig:
+    def test_roundtrip_in_connect_orientation(self):
+        from repro.bgp.policy import Relationship
+
+        net = diamond()
+        config = net.session_config("origin", "left")
+        assert config == ("origin", "left", Relationship.PROVIDER, 1, None)
+
+    def test_reversed_lookup_normalizes_to_connect_orientation(self):
+        net = diamond()
+        assert net.session_config("left", "origin") == net.session_config(
+            "origin", "left"
+        )
+
+    def test_unknown_session_raises(self):
+        net = diamond()
+        with pytest.raises(KeyError, match="no session"):
+            net.session_config("origin", "sink")
+
+    def test_splat_reconnects_identically(self):
+        net = diamond()
+        net.router("origin").originate(P)
+        net.converge()
+        config = net.session_config("origin", "left")
+        net.disconnect("origin", "left")
+        net.converge()
+        net.connect(*config)
+        net.converge()
+        assert net.best_path("sink", P).asns == (100,)
+        assert net.session_config("origin", "left") == config
+
+
+class TestResetSession:
+    def test_reset_restores_routing(self):
+        net = diamond()
+        net.router("origin").originate(P)
+        net.converge()
+        before = net.best_path("sink", P).asns
+        down_rounds, up_rounds = net.reset_session("origin", "left")
+        assert down_rounds >= 1 and up_rounds >= 1
+        assert net.best_path("sink", P).asns == before
+
+    def test_reset_unknown_session_raises(self):
+        net = diamond()
+        with pytest.raises(KeyError, match="no session"):
+            net.reset_session("origin", "sink")

@@ -5,7 +5,7 @@ import ipaddress
 import pytest
 
 from repro.core.config import EdgeConfig
-from repro.core.controller import TangoController
+from repro.core.controller import QuarantinePolicy, TangoController
 from repro.core.gateway import TangoGateway
 from repro.core.policy import StaticSelector
 from repro.core.tunnels import TangoTunnel
@@ -158,3 +158,181 @@ class TestStaleCallback:
         controller.start()
         net.run(until=2.0)
         assert fired == []
+
+
+class TestRestartContract:
+    def test_restart_after_stop_resumes_ticking(self):
+        net, gateway = make_setup()
+        controller = TangoController(gateway, net.sim, interval_s=0.1)
+        controller.start()
+        net.run(until=0.5)
+        controller.stop()
+        controller.start()
+        net.run(until=1.0)
+        # 6 ticks before the stop, then the restarted loop ticks
+        # immediately at t=0.5 and every 0.1 s after: 6 more.
+        assert controller.ticks == 12
+
+    def test_restart_rearms_edge_triggered_staleness(self):
+        net, gateway = make_setup()
+        fired = []
+        controller = TangoController(
+            gateway,
+            net.sim,
+            interval_s=0.1,
+            staleness_s=0.5,
+            on_stale=fired.append,
+        )
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=2.0)
+        assert len(fired) == 1
+        controller.stop()
+        # A restarted controller reports existing conditions afresh: the
+        # tunnel is still stale, so the callback fires again.
+        controller.start()
+        net.run(until=3.0)
+        assert len(fired) == 2
+
+    def test_restart_clears_quarantine_runtime_but_keeps_log(self):
+        net, gateway = make_setup()
+        controller = TangoController(
+            gateway,
+            net.sim,
+            interval_s=0.1,
+            staleness_s=0.5,
+            quarantine=QuarantinePolicy(),
+        )
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=2.0)
+        assert 0 in controller.quarantined
+        events_before = len(controller.quarantine_log)
+        assert events_before > 0
+        controller.stop()
+        controller.start()
+        assert controller.quarantined == set()
+        assert controller.quarantine_state(0) == "healthy"
+        assert len(controller.quarantine_log) == events_before  # cumulative
+
+
+class TestQuarantinePolicy:
+    def test_defaults_valid(self):
+        policy = QuarantinePolicy()
+        assert policy.unhealthy_ticks == 2
+        assert policy.backoff_factor == 2.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            QuarantinePolicy(unhealthy_ticks=0)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(probation_delay_s=0.0)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            QuarantinePolicy(loss_threshold=1.5)
+
+
+class TestQuarantineMachine:
+    def make_controller(self, net, gateway, **overrides):
+        return TangoController(
+            gateway,
+            net.sim,
+            interval_s=0.1,
+            staleness_s=0.5,
+            quarantine=QuarantinePolicy(**overrides),
+        )
+
+    def test_stale_path_quarantined_after_hysteresis(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=1.0)
+        assert controller.quarantine_state(0) == "quarantined"
+        first = controller.quarantine_log[0]
+        assert first.action == "quarantine"
+        assert first.cause == "stale"
+        # Stale from t=0.6; second consecutive unhealthy tick at t=0.7.
+        assert first.t == pytest.approx(0.7)
+
+    def test_never_measured_tunnel_not_quarantined(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        controller.start()
+        net.run(until=3.0)
+        assert controller.quarantine_state(0) == "healthy"
+        assert controller.quarantine_log == []
+
+    def test_single_path_quarantine_engages_fallback(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=1.0)
+        assert controller.fallback_active
+        assert any(
+            q.action == "fallback-on" and q.path_id == -1
+            for q in controller.quarantine_log
+        )
+
+    def test_probation_after_backoff_then_requarantine_while_still_bad(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=4.0)
+        actions = [q.action for q in controller.quarantine_log if q.path_id == 0]
+        assert actions[:3] == ["quarantine", "probation", "quarantine"]
+        backoffs = [
+            q.backoff_s
+            for q in controller.quarantine_log
+            if q.action == "quarantine" and q.path_id == 0
+        ]
+        assert backoffs[0] == pytest.approx(1.0)
+        assert backoffs[1] == pytest.approx(2.0)
+
+    def test_recovered_path_restored_after_probation(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        gateway.outbound.record(0, 0.0, 0.030)
+        # Measurements resume at t=2 and keep flowing.
+        net.sim.call_every(
+            0.05, lambda: gateway.outbound.record(0, net.sim.now, 0.030), start=2.0
+        )
+        controller.start()
+        net.run(until=5.0)
+        assert controller.quarantine_state(0) == "healthy"
+        assert 0 not in controller.quarantined
+        actions = [q.action for q in controller.quarantine_log if q.path_id == 0]
+        assert actions[-1] == "restore"
+        assert not controller.fallback_active
+
+    def test_backoff_capped(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(
+            net, gateway, probation_delay_s=1.0, max_probation_delay_s=2.0
+        )
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=12.0)
+        backoffs = [
+            q.backoff_s
+            for q in controller.quarantine_log
+            if q.action == "quarantine" and q.path_id == 0
+        ]
+        assert len(backoffs) >= 3
+        assert max(backoffs) == pytest.approx(2.0)
+
+
+class TestChoiceTraceLastChoice:
+    def test_unexercised_selector_traces_minus_one(self):
+        from repro.core.policy import LowestDelaySelector
+
+        net, gateway = make_setup()
+        gateway.set_selector(LowestDelaySelector(gateway.outbound, window_s=1.0))
+        controller = TangoController(gateway, net.sim, interval_s=0.1)
+        controller.start()
+        net.run(until=0.5)
+        # The selector has made no selection yet: nothing to record.
+        assert set(controller.choice_trace.values.tolist()) == {-1.0}

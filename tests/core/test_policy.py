@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.policy import (
     ApplicationSelector,
+    GuardedSelector,
     HysteresisSelector,
     JitterAwareSelector,
     LossAwareSelector,
@@ -216,3 +217,75 @@ class TestApplicationSelector:
         )
         assert selector.select(TUNNELS, packet(flow=5), 10.0).path_id == 0
         assert selector.select(TUNNELS, packet(flow=1), 10.0).path_id == 2
+
+
+class TestLastChoice:
+    def test_static_selector_reports_its_index(self):
+        selector = StaticSelector(1)
+        assert selector.last_choice == 1
+        selector.select(TUNNELS, packet(), 0.0)
+        assert selector.last_choice == 1
+
+    def test_measured_selector_starts_unset(self):
+        store = store_with({0: 0.036, 2: 0.028})
+        selector = LowestDelaySelector(store, window_s=1.0)
+        assert selector.last_choice is None
+        selector.select(TUNNELS, packet(), 10.0)
+        assert selector.last_choice == 2
+
+    def test_application_selector_mirrors_default(self):
+        store = store_with({0: 0.036, 2: 0.028})
+        selector = ApplicationSelector(
+            default=LowestDelaySelector(store, window_s=1.0),
+            classes={5: StaticSelector(0)},
+        )
+        assert selector.last_choice is None
+        # Pinned-class traffic does not disturb the data-plane record.
+        selector.select(TUNNELS, packet(flow=5), 10.0)
+        assert selector.last_choice is None
+        selector.select(TUNNELS, packet(flow=1), 10.0)
+        assert selector.last_choice == 2
+
+
+class TestGuardedSelector:
+    def test_transparent_with_no_quarantine(self):
+        store = store_with({0: 0.036, 1: 0.033, 2: 0.028})
+        guard = GuardedSelector(LowestDelaySelector(store, window_s=1.0))
+        assert guard.select(TUNNELS, packet(), 10.0).path_id == 2
+        assert guard.last_choice == 2
+        assert guard.fallbacks == 0
+
+    def test_quarantined_path_excluded(self):
+        store = store_with({0: 0.036, 1: 0.033, 2: 0.028})
+        guard = GuardedSelector(
+            LowestDelaySelector(store, window_s=1.0), quarantined={2}
+        )
+        assert guard.select(TUNNELS, packet(), 10.0).path_id == 1
+        assert guard.fallbacks == 0
+
+    def test_shared_set_mutations_apply_immediately(self):
+        store = store_with({0: 0.036, 1: 0.033, 2: 0.028})
+        quarantined = set()
+        guard = GuardedSelector(
+            LowestDelaySelector(store, window_s=1.0), quarantined=quarantined
+        )
+        assert guard.select(TUNNELS, packet(), 10.0).path_id == 2
+        quarantined.add(2)
+        assert guard.select(TUNNELS, packet(), 10.0).path_id == 1
+        quarantined.discard(2)
+        assert guard.select(TUNNELS, packet(), 10.0).path_id == 2
+
+    def test_all_quarantined_degrades_to_bgp_best(self):
+        store = store_with({0: 0.036, 1: 0.033, 2: 0.028})
+        guard = GuardedSelector(
+            LowestDelaySelector(store, window_s=1.0), quarantined={0, 1, 2}
+        )
+        assert guard.select(TUNNELS, packet(), 10.0).path_id == 0
+        assert guard.fallbacks == 1
+        assert guard.last_choice == 0
+
+    def test_static_index_pushed_out_of_range_degrades(self):
+        # StaticSelector(2) over a filtered two-candidate list raises
+        # IndexError; the guard degrades to BGP-best instead of crashing.
+        guard = GuardedSelector(StaticSelector(2), quarantined={0})
+        assert guard.select(TUNNELS, packet(), 0.0).path_id == 1

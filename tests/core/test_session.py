@@ -116,3 +116,49 @@ class TestLiveMirroring:
             mirrored = outbound.series(path_id).values
             measured = inbound.series(path_id).values[: mirrored.size]
             np.testing.assert_array_equal(mirrored, measured)
+
+
+class TestDiscardBefore:
+    def test_pending_samples_dropped(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.extend(1, np.asarray([0.0, 1.0, 2.0]), np.full(3, 0.03))
+        mirror = TelemetryMirror(source, sink, latency_s=0.0)
+        assert mirror.discard_before(1.5) == 2
+        assert mirror.samples_discarded == 2
+        mirror.sync(now=3.0)
+        np.testing.assert_array_equal(sink.series(1).times, [2.0])
+
+    def test_already_copied_samples_unaffected(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.record(1, 0.0, 0.03)
+        mirror = TelemetryMirror(source, sink, latency_s=0.0)
+        mirror.sync(now=1.0)
+        assert mirror.discard_before(0.5) == 0
+        assert len(sink.series(1)) == 1
+
+    def test_never_rewinds(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.extend(1, np.asarray([0.0, 1.0]), np.full(2, 0.03))
+        mirror = TelemetryMirror(source, sink, latency_s=0.0)
+        mirror.discard_before(5.0)
+        assert mirror.discard_before(0.1) == 0  # cursor stays put
+        mirror.sync(now=10.0)
+        assert len(sink.series(1)) == 0
+
+
+class TestMirrorRegistry:
+    def test_mirror_to_returns_feeding_mirror(self, deployment):
+        mirror, task = deployment.session.mirror_to("ny")
+        assert mirror.sink is deployment.gateway("ny").outbound
+        assert not task.paused
+
+    def test_unknown_edge_raises(self, deployment):
+        with pytest.raises(KeyError, match="no mirror"):
+            deployment.session.mirror_to("chicago")
+
+    def test_stop_clears_registry(self):
+        d = VultrDeployment(include_events=False)
+        d.establish()
+        d.session.stop()
+        with pytest.raises(KeyError):
+            d.session.mirror_to("ny")

@@ -5,7 +5,7 @@ import ipaddress
 import pytest
 
 from repro.core.discovery import DiscoveredPath
-from repro.core.tunnels import TangoTunnel, TunnelTable, build_tunnels
+from repro.core.tunnels import TangoTunnel, TunnelTable, bgp_best, build_tunnels
 from repro.bgp.attributes import AsPath
 
 
@@ -115,3 +115,29 @@ class TestTunnelTable:
         table = self.make_table()
         assert len(table) == 4
         assert table.prefixes() == [HOST]
+
+
+class TestBgpBest:
+    def make_tunnels(self, ids):
+        return [
+            TangoTunnel(
+                path_id=i,
+                label=f"p{i}",
+                local_endpoint=ipaddress.IPv6Address(f"2001:db8:a0::{i + 1}"),
+                remote_endpoint=ipaddress.IPv6Address(f"2001:db8:b0::{i + 1}"),
+                remote_prefix=REMOTE[0],
+            )
+            for i in ids
+        ]
+
+    def test_prefers_default_path(self):
+        tunnels = self.make_tunnels([2, 0, 1])
+        assert bgp_best(tunnels).path_id == 0
+
+    def test_lowest_id_when_no_default_in_set(self):
+        tunnels = self.make_tunnels([3, 1, 2])  # id 0 filtered out
+        assert bgp_best(tunnels).path_id == 1
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="no tunnels"):
+            bgp_best([])

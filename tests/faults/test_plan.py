@@ -1,0 +1,140 @@
+"""Tests for declarative fault plans."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+def blackhole(at=5.0, duration=2.0, src="ny", path="GTT"):
+    return FaultEvent(
+        "link_blackhole", at=at, duration=duration, params={"src": src, "path": path}
+    )
+
+
+class TestFaultEvent:
+    def test_known_kinds(self):
+        assert "link_blackhole" in FAULT_KINDS
+        assert "clock_step" in FAULT_KINDS
+        assert len(FAULT_KINDS) == 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("gamma_ray", at=1.0, duration=1.0)
+
+    def test_negative_onset_rejected(self):
+        with pytest.raises(ValueError, match="onset"):
+            blackhole(at=-1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            blackhole(duration=-1.0)
+
+    def test_zero_duration_blackhole_rejected(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            blackhole(duration=0.0)
+
+    def test_permanent_clock_step_allowed(self):
+        event = FaultEvent(
+            "clock_step", at=1.0, params={"edge": "ny", "step_ms": 5.0}
+        )
+        assert event.duration == 0.0
+        assert event.end == 1.0
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ValueError, match="missing parameter"):
+            FaultEvent("link_blackhole", at=1.0, duration=1.0, params={"src": "ny"})
+
+    def test_end(self):
+        assert blackhole(at=5.0, duration=2.0).end == 7.0
+
+    def test_target_strings(self):
+        assert blackhole().target == "ny:GTT"
+        assert (
+            FaultEvent(
+                "bgp_session_down", at=0.0, duration=1.0, params={"a": "x", "b": "y"}
+            ).target
+            == "x~y"
+        )
+        assert (
+            FaultEvent(
+                "prefix_withdraw",
+                at=0.0,
+                duration=1.0,
+                params={"edge": "la", "prefix_index": 2},
+            ).target
+            == "la:route[2]"
+        )
+        assert (
+            FaultEvent(
+                "telemetry_drop", at=0.0, duration=1.0, params={"edge": "ny"}
+            ).target
+            == "ny"
+        )
+
+    def test_params_copied(self):
+        params = {"src": "ny", "path": "GTT"}
+        event = blackhole()
+        params["path"] = "Telia"
+        assert event.params["path"] == "GTT"
+
+
+class TestFaultPlan:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            FaultPlan(name="", events=())
+
+    def test_timeline_sorted_by_onset(self):
+        late, early = blackhole(at=9.0), blackhole(at=1.0)
+        plan = FaultPlan(name="p", events=(late, early))
+        assert plan.timeline == (early, late)
+        assert plan.events == (late, early)  # authoring order preserved
+
+    def test_timeline_ties_keep_authoring_order(self):
+        a, b = blackhole(at=3.0, path="GTT"), blackhole(at=3.0, path="Telia")
+        plan = FaultPlan(name="p", events=(a, b))
+        assert plan.timeline == (a, b)
+
+    def test_horizon(self):
+        plan = FaultPlan(
+            name="p", events=(blackhole(at=1.0, duration=2.0), blackhole(at=4.0))
+        )
+        assert plan.horizon == 6.0
+        assert FaultPlan(name="empty", events=()).horizon == 0.0
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            name="demo",
+            seed=42,
+            events=(
+                blackhole(),
+                FaultEvent(
+                    "loss_burst",
+                    at=8.0,
+                    duration=1.5,
+                    params={"src": "la", "path": "Telia", "rate": 0.4},
+                ),
+            ),
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_to_json_is_stable(self):
+        plan = FaultPlan(name="demo", seed=1, events=(blackhole(),))
+        assert plan.to_json() == plan.to_json()
+        assert "\n" not in plan.to_json()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="'events' must be a list"):
+            FaultPlan.from_json('{"name": "x", "events": 3}')
+        with pytest.raises(ValueError, match="missing field"):
+            FaultPlan.from_json('{"name": "x", "events": [{"at": 1.0}]}')
+
+    def test_from_file(self, tmp_path):
+        plan = FaultPlan(name="demo", seed=9, events=(blackhole(),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_file(str(path)) == plan

@@ -1,0 +1,105 @@
+"""Tests for recovery records and deterministic log rendering."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan
+from repro.faults.recovery import RecoveryLog, RecoveryRecord
+
+
+def blackhole(at=5.0, duration=2.0):
+    return FaultEvent(
+        "link_blackhole",
+        at=at,
+        duration=duration,
+        params={"src": "ny", "path": "GTT"},
+    )
+
+
+class TestRecoveryRecord:
+    def test_derived_timings(self):
+        record = RecoveryRecord(
+            kind="link_blackhole",
+            target="ny:GTT",
+            at=5.0,
+            cleared=10.0,
+            detected_at=5.7,
+            rerouted_at=5.8,
+            restored_at=13.5,
+        )
+        assert record.detection_s == pytest.approx(0.7)
+        assert record.reroute_s == pytest.approx(0.8)
+        assert record.repair_s == pytest.approx(3.5)
+
+    def test_missing_timings_render_as_dashes(self):
+        record = RecoveryRecord(
+            kind="telemetry_drop", target="ny", at=16.0, cleared=18.0
+        )
+        assert record.detection_s is None
+        assert record.as_line() == (
+            "telemetry_drop ny 16.000000 18.000000 - - - - - -"
+        )
+
+    def test_as_line_fixed_precision(self):
+        record = RecoveryRecord(
+            kind="link_blackhole",
+            target="ny:GTT",
+            at=1.0,
+            cleared=2.0,
+            detected_at=1.25,
+        )
+        assert record.as_line() == (
+            "link_blackhole ny:GTT 1.000000 2.000000 1.250000 - - 0.250000 - -"
+        )
+
+
+class TestRecoveryLog:
+    def log_of(self, *records):
+        plan = FaultPlan(name="p", events=(blackhole(),))
+        return RecoveryLog(plan, list(records))
+
+    def test_mttr_means_over_detected_path_faults(self):
+        log = self.log_of(
+            RecoveryRecord(
+                "link_blackhole", "ny:GTT", 5.0, 7.0,
+                detected_at=5.5, rerouted_at=5.6,
+            ),
+            RecoveryRecord(
+                "loss_burst", "ny:Telia", 8.0, 9.0,
+                detected_at=8.5, rerouted_at=9.0,
+            ),
+            RecoveryRecord("link_flap", "la:GTT", 1.0, 3.0),  # undetected
+        )
+        assert log.mttr() == pytest.approx((0.6 + 1.0) / 2)
+        assert log.detected_count == 2
+        assert log.path_fault_count == 3
+
+    def test_mttr_none_when_nothing_rerouted(self):
+        log = self.log_of(
+            RecoveryRecord("link_blackhole", "ny:GTT", 5.0, 7.0)
+        )
+        assert log.mttr() is None
+        assert "mttr_s=-" in log.format()
+
+    def test_format_structure(self):
+        log = self.log_of(
+            RecoveryRecord(
+                "link_blackhole", "ny:GTT", 5.0, 7.0,
+                detected_at=5.5, rerouted_at=5.6, restored_at=8.0,
+            )
+        )
+        text = log.format()
+        lines = text.splitlines()
+        assert lines[0] == "# tango-repro fault recovery log"
+        assert lines[1] == "# plan=p seed=0 events=1"
+        assert lines[2].startswith("# columns: kind target")
+        assert lines[3].startswith("link_blackhole ny:GTT")
+        assert lines[4] == "# mttr_s=0.600000 detected=1/1"
+        assert text.endswith("\n")
+
+    def test_format_is_deterministic(self):
+        log = self.log_of(
+            RecoveryRecord(
+                "link_blackhole", "ny:GTT", 5.0, 7.0, detected_at=5.5
+            )
+        )
+        assert log.format() == log.format()

@@ -163,3 +163,45 @@ class TestPeriodicTask:
     def test_zero_interval_rejected(self):
         with pytest.raises(ValueError, match="positive"):
             Simulator().call_every(0.0, lambda: None)
+
+
+class TestPeriodicPauseResume:
+    def test_pause_stops_firing(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        task.pause()
+        assert task.paused
+        sim.run(until=6.0)
+        assert len(ticks) == 3  # 0, 1, 2
+
+    def test_resume_rearms_without_replaying_missed_ticks(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        task.pause()
+        sim.run(until=5.0)
+        task.resume()
+        assert not task.paused
+        sim.run(until=7.0)
+        # Next firing is now + interval; occurrences 3..5 are simply lost.
+        assert ticks == pytest.approx([0.0, 1.0, 2.0, 6.0, 7.0])
+
+    def test_pause_is_idempotent(self):
+        sim = Simulator()
+        task = sim.call_every(1.0, lambda: None)
+        task.pause()
+        task.pause()
+        task.resume()
+        task.resume()
+        assert not task.paused
+
+    def test_pause_after_stop_is_noop(self):
+        sim = Simulator()
+        task = sim.call_every(1.0, lambda: None)
+        task.stop()
+        task.pause()
+        task.resume()
+        assert not task.paused

@@ -165,3 +165,20 @@ class TestMeasurementStore:
         assert not store.has_path(1)
         store.record(1, 0.0, 1.0)
         assert store.has_path(1)
+
+
+class TestLastTime:
+    def test_empty_series_has_no_last_time(self):
+        assert TimeSeries().last_time is None
+
+    def test_last_time_tracks_appends(self):
+        series = TimeSeries()
+        series.append(1.0, 0.03)
+        series.append(2.5, 0.031)
+        assert series.last_time == 2.5
+
+    def test_store_last_time_per_path(self):
+        store = MeasurementStore()
+        store.record(3, 1.25, 0.03)
+        assert store.last_time(3) == 1.25
+        assert store.last_time(7) is None

@@ -56,3 +56,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tango recovered" in out
         assert "BGP convergence" in out
+
+
+class TestFaults:
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["faults", "run"])
+        assert args.faults_command == "run"
+        assert args.plan is None
+        assert args.seed is None
+        assert args.duration is None
+        assert not args.transitions
+
+    def test_sample_plan_roundtrips(self, capsys):
+        from repro.faults import FaultPlan
+
+        assert main(["faults", "sample-plan"]) == 0
+        out = capsys.readouterr().out
+        plan = FaultPlan.from_json(out)
+        assert plan.name == "blackhole-demo"
+        assert len(plan.events) == 3
