@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append every quarantine state transition to the log",
     )
+    run.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run the resilience stack: reliable telemetry transport, "
+        "RTT-probing degraded mode, journaled controllers under "
+        "supervision (enables telemetry_loss / controller_crash "
+        "recovery)",
+    )
     faults_sub.add_parser(
         "sample-plan", help="print a template fault plan as JSON"
     )
@@ -298,13 +306,28 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     from .scenarios.vultr import VultrDeployment
 
     if args.plan:
-        plan = FaultPlan.from_file(args.plan)
+        try:
+            plan = FaultPlan.from_file(args.plan)
+        except OSError as exc:
+            print(f"tango-repro: cannot read fault plan: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(
+                f"tango-repro: invalid fault plan {args.plan}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     else:
         plan = _demo_fault_plan()
     if args.seed is not None:
         plan = FaultPlan(name=plan.name, events=plan.events, seed=args.seed)
 
-    deployment = VultrDeployment(include_events=False)
+    channel = None
+    if args.resilient:
+        from .resilience import ChannelConfig
+
+        channel = ChannelConfig(report_interval_s=0.1)
+    deployment = VultrDeployment(include_events=False, telemetry_channel=channel)
     deployment.establish()
     controllers = {}
     for edge in (deployment.pairing.a.name, deployment.pairing.b.name):
@@ -313,14 +336,33 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
             edge,
             LowestDelaySelector(deployment.gateway(edge).outbound, window_s=1.0),
         )
+        degraded = journal = None
+        if args.resilient:
+            from .resilience import (
+                ControllerJournal,
+                DegradedModeConfig,
+                RttFallbackEstimator,
+            )
+
+            estimator = RttFallbackEstimator.for_deployment(deployment, edge)
+            estimator.start()
+            degraded = DegradedModeConfig(
+                estimates=estimator.estimates, horizon_s=0.5
+            )
+            journal = ControllerJournal()
         controller = TangoController(
             deployment.gateway(edge),
             deployment.sim,
             interval_s=0.1,
             staleness_s=0.5,
             quarantine=QuarantinePolicy(),
+            degraded=degraded,
+            journal=journal,
         )
         controller.start()
+        deployment.attach_controller(edge, controller)
+        if args.resilient:
+            deployment.supervise(edge, journal=journal)
         controllers[edge] = controller
 
     # Background data stream per edge: reroute timings are about user
@@ -336,7 +378,15 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         deployment.sim.call_every(0.02, lambda f=factory, s=send: s(f.build()))
 
     injector = FaultInjector(deployment, plan)
-    injector.arm()
+    try:
+        injector.arm()
+    except (ValueError, KeyError, LookupError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(
+            f"tango-repro: cannot arm fault plan {plan.name!r}: {message}",
+            file=sys.stderr,
+        )
+        return 2
     horizon = (
         args.duration if args.duration is not None else plan.horizon + 10.0
     )

@@ -17,23 +17,50 @@ software:
   falls back to the BGP-best tunnel — never worse than the status quo.
 
 Lifecycle contract: :meth:`TangoController.start` may be called again
-after :meth:`TangoController.stop`.  A (re)start resets all edge-trigger
-and quarantine runtime state — previously stale tunnels re-fire
-``on_stale`` and quarantined tunnels are re-admitted pending a fresh
-verdict — while cumulative records (``choice_trace``, ``quarantine_log``,
-``ticks``) are preserved.  Calling ``start`` on a running controller
-remains an error.
+after :meth:`TangoController.stop`.  A cold (re)start resets all
+edge-trigger and quarantine runtime state — previously stale tunnels
+re-fire ``on_stale`` and quarantined tunnels are re-admitted pending a
+fresh verdict — while cumulative records (``choice_trace``,
+``quarantine_log``, ``mode_log``, ``ticks``) are preserved.  Calling
+``start`` on a running controller remains an error.
+
+Resilience extensions (``repro.resilience``):
+
+* **degraded-mode estimation** — with a
+  :class:`~repro.resilience.degraded.DegradedModeConfig`, a peer
+  telemetry feed stale past the horizon downgrades path selection to
+  local RTT-probe estimates (and a feed-level outage stops counting as
+  per-path staleness for quarantine — a quiet mirror is not four dead
+  tunnels); the mirror healing upgrades back, both transitions recorded
+  in :attr:`TangoController.mode_log`.
+* **crash safety** — with a
+  :class:`~repro.resilience.journal.ControllerJournal`, every quarantine
+  /fallback/mode transition and data-path choice change is written ahead
+  to the WAL and the full runtime state checkpointed periodically;
+  :meth:`TangoController.crash` models process death (runtime memory
+  wiped, installed data-plane state retained), and
+  :meth:`TangoController.restore_state` + ``start(warm=True)`` is the
+  supervisor's warm-recovery path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 
 from ..netsim.events import PeriodicTask, Simulator
+from ..resilience.degraded import (
+    MODE_COOPERATIVE,
+    MODE_DEGRADED,
+    DegradedModeConfig,
+    ModeTransition,
+)
 from ..telemetry.store import TimeSeries
 from .gateway import TangoGateway
 from .policy import GuardedSelector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.journal import ControllerJournal
 
 __all__ = [
     "TunnelHealth",
@@ -134,6 +161,11 @@ class TangoController:
             transition; re-arms on recovery and on restart).
         quarantine: enable graceful degradation with these parameters;
             None (the default) keeps the controller report-only.
+        degraded: enable RTT-probing fallback when the peer telemetry
+            feed goes stale past the config's horizon; None keeps the
+            PR 1 behavior (cooperative estimates only).
+        journal: write-ahead-log every routing decision and checkpoint
+            runtime state periodically; None disables persistence.
     """
 
     def __init__(
@@ -144,6 +176,8 @@ class TangoController:
         staleness_s: float = 2.0,
         on_stale: Optional[Callable[[TunnelHealth], None]] = None,
         quarantine: Optional[QuarantinePolicy] = None,
+        degraded: Optional[DegradedModeConfig] = None,
+        journal: Optional["ControllerJournal"] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -168,24 +202,47 @@ class TangoController:
         self._qstate: dict[int, _QuarantineRuntime] = {}
         self._guard: Optional[GuardedSelector] = None
         self._fallback_active = False
+        self.degraded = degraded
+        self.journal = journal
+        #: Estimation source currently in use: cooperative | degraded.
+        self.mode = MODE_COOPERATIVE
+        #: Every downgrade/upgrade, in tick order (cumulative trace).
+        self.mode_log: list[ModeTransition] = []
+        #: True between :meth:`crash` and the next (re)start.
+        self.crashed = False
+        self._heal_streak = 0
+        self._cooperative_store = None
+        self._last_logged_choice: Optional[float] = None
 
-    def start(self) -> None:
+    def start(self, warm: bool = False) -> None:
         """Begin (or restart) the control loop.
 
-        Safe after :meth:`stop`: edge-trigger and quarantine runtime state
-        are reset so a tunnel that was stale or quarantined before the
-        restart is re-evaluated from scratch (and will re-fire
-        ``on_stale`` if still stale).  Cumulative traces are kept.
+        Safe after :meth:`stop`: a cold start resets edge-trigger and
+        quarantine runtime state so a tunnel that was stale or
+        quarantined before the restart is re-evaluated from scratch (and
+        will re-fire ``on_stale`` if still stale).  Cumulative traces are
+        kept either way.
+
+        Args:
+            warm: keep the current runtime state — the supervisor's
+                recovery path, used right after :meth:`restore_state` so
+                a restart does not re-thrash tunnels.
         """
         if self._task is not None:
             raise RuntimeError("controller already started")
-        self._stale_flags.clear()
-        self._reset_quarantine_runtime()
+        if not warm:
+            self._stale_flags.clear()
+            self._reset_quarantine_runtime()
         if self.quarantine_policy is not None and self._guard is None:
             self._guard = GuardedSelector(
                 self.gateway.data_selector, self.quarantined
             )
             self.gateway.set_data_selector(self._guard)
+        self._capture_cooperative_store()
+        # Re-point the selector at the restored mode's store: after a
+        # warm restore the dataplane may still hold the pre-crash one.
+        self._apply_mode(self.mode)
+        self.crashed = False
         self._task = self.sim.call_every(self.interval_s, self._tick)
 
     def stop(self) -> None:
@@ -193,25 +250,72 @@ class TangoController:
             self._task.stop()
             self._task = None
 
+    @property
+    def running(self) -> bool:
+        """True while the control loop is scheduled — the supervisor's
+        liveness primitive (alongside tick-counter progress)."""
+        return self._task is not None
+
+    def crash(self) -> None:
+        """Model process death: the loop stops and runtime memory is lost.
+
+        What survives is exactly what would survive a real crash: the
+        data plane's installed state (the :class:`GuardedSelector`, its
+        quarantined-set contents, whichever measurement store the
+        selector was pointed at) and the experimenter's cumulative traces
+        (``choice_trace``, ``quarantine_log``, ``mode_log``, ``ticks``).
+        Everything the controller *knew* — quarantine machines, streaks,
+        stale flags, estimation-mode bookkeeping — is wiped; recovery
+        must come from the journal (see :meth:`restore_state`).
+        """
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        self.crashed = True
+        self._qstate.clear()
+        self._stale_flags.clear()
+        self._fallback_active = False
+        self.mode = MODE_COOPERATIVE
+        self._heal_streak = 0
+        self._cooperative_store = None
+        self._last_logged_choice = None
+
     def _reset_quarantine_runtime(self) -> None:
         self._qstate.clear()
         self.quarantined.clear()
         self._fallback_active = False
+        self._heal_streak = 0
+        if self.mode != MODE_COOPERATIVE:
+            self._apply_mode(MODE_COOPERATIVE)
 
     def _tick(self) -> None:
         self.ticks += 1
         now = self.sim.now
         self.gateway.loss_monitor.sample(now)
         choice = getattr(self.gateway.selector, "last_choice", None)
-        self.choice_trace.append(now, float(-1 if choice is None else choice))
-        needs_health = self.on_stale is not None or self.quarantine_policy
-        if not needs_health:
-            return
-        healths = self.health()
-        if self.on_stale is not None:
-            self._check_staleness(healths)
-        if self.quarantine_policy is not None:
-            self._quarantine_tick(healths, now)
+        recorded = float(-1 if choice is None else choice)
+        self.choice_trace.append(now, recorded)
+        if self.journal is not None and recorded != self._last_logged_choice:
+            self._last_logged_choice = recorded
+            self.journal.record("choice", now, path_id=int(recorded))
+        needs_health = (
+            self.on_stale is not None
+            or self.quarantine_policy is not None
+            or self.degraded is not None
+        )
+        if needs_health:
+            healths = self.health()
+            if self.on_stale is not None:
+                self._check_staleness(healths)
+            if self.degraded is not None:
+                self._degraded_tick(healths, now)
+            if self.quarantine_policy is not None:
+                self._quarantine_tick(healths, now)
+        if (
+            self.journal is not None
+            and self.ticks % self.journal.checkpoint_every_ticks == 0
+        ):
+            self.journal.checkpoint(self.snapshot_state())
 
     def _check_staleness(self, healths: list[TunnelHealth]) -> None:
         """Edge-triggered staleness notifications.
@@ -229,27 +333,117 @@ class TangoController:
             elif health.fresh:
                 self._stale_flags[health.path_id] = False
 
+    # -- degraded-mode estimation -------------------------------------------------
+
+    @staticmethod
+    def _peer_staleness(healths: list[TunnelHealth]) -> Optional[float]:
+        """Age of the *freshest* mirrored sample across paths (None when
+        nothing has ever been measured) — the feed-level health signal."""
+        ages = [
+            h.last_measurement_age_s
+            for h in healths
+            if h.last_measurement_age_s is not None
+        ]
+        return min(ages) if ages else None
+
+    def _feed_outage(self, healths: list[TunnelHealth]) -> bool:
+        """True when every measured path is stale at once: the mirror is
+        down, not the tunnels.  Only meaningful with a degraded config —
+        without a fallback estimator, staleness keeps quarantining."""
+        if self.degraded is None:
+            return False
+        measured = [h for h in healths if h.last_measurement_age_s is not None]
+        return bool(measured) and all(not h.fresh for h in measured)
+
+    def _degraded_tick(self, healths: list[TunnelHealth], now: float) -> None:
+        config = self.degraded
+        staleness = self._peer_staleness(healths)
+        if self.mode == MODE_COOPERATIVE:
+            if staleness is not None and staleness > config.horizon_s:
+                self._set_mode(MODE_DEGRADED, now, staleness)
+        else:
+            if staleness is not None and staleness <= config.horizon_s:
+                self._heal_streak += 1
+                if self._heal_streak >= config.heal_ticks:
+                    self._set_mode(MODE_COOPERATIVE, now, staleness)
+            else:
+                self._heal_streak = 0
+
+    def _set_mode(self, mode: str, now: float, staleness: Optional[float]) -> None:
+        """Transition the estimation source, logging and journaling it."""
+        if mode == self.mode:
+            return
+        self._apply_mode(mode)
+        self._heal_streak = 0
+        self.mode_log.append(
+            ModeTransition(t=now, mode=mode, staleness_s=staleness)
+        )
+        if self.journal is not None:
+            self.journal.record("mode", now, mode=mode)
+
+    def _apply_mode(self, mode: str) -> None:
+        """Point the measured selector at the mode's store (no logging)."""
+        self.mode = mode
+        selector = self._measured_selector()
+        if selector is None or self.degraded is None:
+            return
+        if mode == MODE_DEGRADED:
+            selector.store = self.degraded.estimates
+        elif self._cooperative_store is not None:
+            selector.store = self._cooperative_store
+
+    def _measured_selector(self):
+        """The store-reading selector deciding data traffic, if any."""
+        selector = self.gateway.data_selector
+        if isinstance(selector, GuardedSelector):
+            selector = selector.inner
+        return selector if hasattr(selector, "store") else None
+
+    def _capture_cooperative_store(self) -> None:
+        """Remember which store means "cooperative" for mode swaps.
+
+        After a crash the dead controller's dataplane may still point at
+        the degraded estimates; the mirrored store is then the gateway's
+        outbound store by construction.
+        """
+        selector = self._measured_selector()
+        if selector is None or self.degraded is None:
+            return
+        store = getattr(selector, "store", None)
+        if store is None or store is self.degraded.estimates:
+            if self._cooperative_store is None:
+                self._cooperative_store = self.gateway.outbound
+        else:
+            self._cooperative_store = store
+
     # -- quarantine state machine -------------------------------------------------
 
-    def _unhealthy_cause(self, health: TunnelHealth) -> Optional[str]:
+    def _unhealthy_cause(
+        self, health: TunnelHealth, suppress_stale: bool = False
+    ) -> Optional[str]:
         """Why this tunnel counts as unhealthy, or None if it doesn't.
 
         Warming-up tunnels (never measured) are exempt from the staleness
-        trigger, matching the edge-trigger semantics above.
+        trigger, matching the edge-trigger semantics above.  During a
+        feed-level outage (``suppress_stale``) staleness is not a
+        per-path verdict either — the degraded estimator keeps routing
+        instead of quarantining the whole candidate set.
         """
         if health.last_measurement_age_s is not None and not health.fresh:
-            return "stale"
+            if not suppress_stale:
+                return "stale"
         if health.recent_loss > self.quarantine_policy.loss_threshold:
             return "loss"
         return None
 
     def _quarantine_tick(self, healths: list[TunnelHealth], now: float) -> None:
         policy = self.quarantine_policy
+        suppress_stale = self._feed_outage(healths)
         for health in healths:
             runtime = self._qstate.setdefault(
                 health.path_id, _QuarantineRuntime(backoff_s=policy.probation_delay_s)
             )
-            cause = self._unhealthy_cause(health)
+            cause = self._unhealthy_cause(health, suppress_stale)
             if runtime.state == "healthy":
                 if cause is None:
                     runtime.unhealthy_streak = 0
@@ -303,6 +497,8 @@ class TangoController:
         self.quarantine_log.append(
             QuarantineEvent(t=now, path_id=-1, label="*", action=action)
         )
+        if self.journal is not None:
+            self.journal.record("fallback", now, active=active)
 
     def _log(
         self,
@@ -322,6 +518,15 @@ class TangoController:
                 backoff_s=backoff_s,
             )
         )
+        if self.journal is not None:
+            self.journal.record(
+                action,
+                now,
+                path_id=health.path_id,
+                label=health.label,
+                cause=cause,
+                backoff_s=backoff_s,
+            )
 
     def quarantine_state(self, path_id: int) -> str:
         """Machine state for one tunnel: healthy | quarantined | probation."""
@@ -332,6 +537,103 @@ class TangoController:
     def fallback_active(self) -> bool:
         """True while every tunnel is quarantined (BGP-best last resort)."""
         return self._fallback_active
+
+    # -- crash-safe persistence ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-serializable runtime state — the checkpoint payload."""
+        return {
+            "ticks": self.ticks,
+            "mode": self.mode,
+            "fallback_active": self._fallback_active,
+            "quarantined": sorted(self.quarantined),
+            "stale_flags": {
+                str(pid): flag for pid, flag in sorted(self._stale_flags.items())
+            },
+            "qstate": {
+                str(pid): {
+                    "state": rt.state,
+                    "unhealthy_streak": rt.unhealthy_streak,
+                    "healthy_streak": rt.healthy_streak,
+                    "backoff_s": rt.backoff_s,
+                    "probation_at": rt.probation_at,
+                }
+                for pid, rt in sorted(self._qstate.items())
+            },
+        }
+
+    def restore_state(
+        self,
+        snapshot: Optional[Mapping],
+        wal: Sequence[Mapping] = (),
+    ) -> None:
+        """Warm-restore from a checkpoint plus WAL replay.
+
+        The snapshot rebuilds the quarantine machines, stale flags,
+        fallback flag and estimation mode as of the last checkpoint; WAL
+        entries then re-apply every decision made since, in order.
+        Streak counters inside replayed transitions restart at zero — a
+        conservative loss (hysteresis re-arms, state is exact).  Must be
+        followed by ``start(warm=True)``; cumulative traces are never
+        touched (they are the experimenter's record, not process state).
+        """
+        if self.running:
+            raise RuntimeError("cannot restore a running controller")
+        self._qstate.clear()
+        self.quarantined.clear()
+        self._stale_flags.clear()
+        self._fallback_active = False
+        self._heal_streak = 0
+        self.mode = MODE_COOPERATIVE
+        if snapshot is not None:
+            for pid_str, raw in snapshot.get("qstate", {}).items():
+                self._qstate[int(pid_str)] = _QuarantineRuntime(
+                    state=str(raw["state"]),
+                    unhealthy_streak=int(raw["unhealthy_streak"]),
+                    healthy_streak=int(raw["healthy_streak"]),
+                    backoff_s=float(raw["backoff_s"]),
+                    probation_at=float(raw["probation_at"]),
+                )
+            self.quarantined.update(int(p) for p in snapshot.get("quarantined", ()))
+            self._stale_flags.update(
+                {int(k): bool(v) for k, v in snapshot.get("stale_flags", {}).items()}
+            )
+            self._fallback_active = bool(snapshot.get("fallback_active", False))
+            self._apply_mode(str(snapshot.get("mode", MODE_COOPERATIVE)))
+        for entry in wal:
+            self._replay_wal_entry(entry)
+
+    def _replay_wal_entry(self, entry: Mapping) -> None:
+        kind = str(entry["kind"])
+        policy = self.quarantine_policy
+        if kind == "quarantine" and policy is not None:
+            pid = int(entry["path_id"])
+            runtime = self._qstate.setdefault(pid, _QuarantineRuntime())
+            backoff = float(entry["backoff_s"]) or policy.probation_delay_s
+            runtime.state = "quarantined"
+            runtime.unhealthy_streak = 0
+            runtime.probation_at = float(entry["t"]) + backoff
+            runtime.backoff_s = min(
+                backoff * policy.backoff_factor, policy.max_probation_delay_s
+            )
+            self.quarantined.add(pid)
+        elif kind == "probation":
+            pid = int(entry["path_id"])
+            runtime = self._qstate.setdefault(pid, _QuarantineRuntime())
+            runtime.state = "probation"
+            runtime.healthy_streak = 0
+            self.quarantined.discard(pid)
+        elif kind == "restore" and policy is not None:
+            pid = int(entry["path_id"])
+            runtime = self._qstate.setdefault(pid, _QuarantineRuntime())
+            runtime.state = "healthy"
+            runtime.backoff_s = policy.probation_delay_s
+            runtime.unhealthy_streak = 0
+        elif kind == "fallback":
+            self._fallback_active = bool(entry["active"])
+        elif kind == "mode":
+            self._apply_mode(str(entry["mode"]))
+        # "choice" entries are informational (the data plane re-decides).
 
     # -- health -----------------------------------------------------------------
 

@@ -144,6 +144,8 @@ class TangoSession:
         self._mirror_tasks = []
         #: edge name -> (mirror feeding that edge's outbound store, its task).
         self._mirrors_by_edge: dict[str, tuple[TelemetryMirror, object]] = {}
+        #: edge name -> reliable channel feeding that edge (subset of above).
+        self._channels_by_edge: dict[str, object] = {}
 
     # -- control plane ------------------------------------------------------------
 
@@ -214,7 +216,9 @@ class TangoSession:
 
         Mirror latency is the report interval (piggyback freshness); the
         reverse-path propagation component is dominated by it at the
-        paper's parameters.
+        paper's parameters.  This is the idealized lossless feed; see
+        :meth:`start_reliable_telemetry` for the transport that can
+        actually lose, delay, reorder and duplicate reports.
         """
         latency = self.pairing.report_interval_s
         mirror_to_a = TelemetryMirror(
@@ -239,6 +243,68 @@ class TangoSession:
         self._mirrors_by_edge[self.pairing.b.name] = (mirror_to_b, task_b)
         return mirror_to_a, mirror_to_b
 
+    def start_reliable_telemetry(self, config=None, seed: int = 0):
+        """Begin the feedback loop over the sequenced, acked transport.
+
+        Each direction's reports ride a
+        :class:`~repro.resilience.channel.ReliableTelemetryChannel`
+        simulated over the WAN — loss, delay, reordering and duplication
+        are survivable rather than impossible.  Registered under the same
+        per-edge handles as plain mirrors, so :meth:`mirror_to` (and the
+        ``telemetry_drop`` fault built on it) works unchanged.
+
+        Returns:
+            ``(channel_to_a, channel_to_b)``.
+        """
+        from ..resilience.channel import ChannelConfig, ReliableTelemetryChannel
+
+        if config is None:
+            config = ChannelConfig(
+                report_interval_s=self.pairing.report_interval_s
+            )
+        channel_to_a = ReliableTelemetryChannel(
+            source=self.gateway_b.inbound,
+            sink=self.gateway_a.outbound,
+            sim=self.sim,
+            config=config,
+            seed=seed,
+            name=f"telemetry->{self.pairing.a.name}",
+        )
+        channel_to_b = ReliableTelemetryChannel(
+            source=self.gateway_a.inbound,
+            sink=self.gateway_b.outbound,
+            sim=self.sim,
+            config=config,
+            seed=seed + 1,
+            name=f"telemetry->{self.pairing.b.name}",
+        )
+        task_a = channel_to_a.start()
+        task_b = channel_to_b.start()
+        self._mirror_tasks += [task_a, task_b]
+        self._mirrors_by_edge[self.pairing.a.name] = (channel_to_a, task_a)
+        self._mirrors_by_edge[self.pairing.b.name] = (channel_to_b, task_b)
+        self._channels_by_edge[self.pairing.a.name] = channel_to_a
+        self._channels_by_edge[self.pairing.b.name] = channel_to_b
+        return channel_to_a, channel_to_b
+
+    def channel_to(self, edge_name: str):
+        """The reliable channel feeding ``edge_name`` (the
+        ``telemetry_loss`` fault's handle).  LookupError when the session
+        runs plain lossless mirrors instead."""
+        try:
+            return self._channels_by_edge[edge_name]
+        except KeyError:
+            raise LookupError(
+                f"no reliable telemetry channel for edge {edge_name!r}; "
+                f"the session runs "
+                + (
+                    "plain lossless mirrors — establish with a channel "
+                    "config (see start_reliable_telemetry)"
+                    if not self._channels_by_edge
+                    else f"channels for: {sorted(self._channels_by_edge)}"
+                )
+            ) from None
+
     def mirror_to(self, edge_name: str) -> tuple[TelemetryMirror, object]:
         """The mirror (and its task) feeding ``edge_name``'s outbound store.
 
@@ -260,3 +326,4 @@ class TangoSession:
             task.stop()
         self._mirror_tasks.clear()
         self._mirrors_by_edge.clear()
+        self._channels_by_edge.clear()

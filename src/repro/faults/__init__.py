@@ -7,8 +7,9 @@ first-class, scriptable input:
 * :mod:`repro.faults.plan` — a declarative, seed-deterministic
   :class:`FaultPlan`: a named list of timed :class:`FaultEvent`\\ s
   (link blackholes, flaps, loss bursts, delay spikes, BGP session
-  outages, prefix withdraw/re-announce, telemetry-mirror loss, clock
-  steps), JSON round-trippable for CLI campaigns.
+  outages, prefix withdraw/re-announce, telemetry-mirror silence,
+  telemetry-channel frame loss, clock steps, controller crashes), JSON
+  round-trippable for CLI campaigns.
 * :mod:`repro.faults.injector` — :class:`FaultInjector` arms a plan on an
   established :class:`~repro.scenarios.deployment.PacketLevelDeployment`.
   Link-level faults become pure functions of simulation time (wrapping

@@ -186,6 +186,28 @@ class FaultInjector:
         sim.schedule_at(event.at, silence)
         sim.schedule_at(event.end, unsilence)
 
+    def _arm_telemetry_loss(self, event: FaultEvent, index: int) -> None:
+        """Elevated report-frame loss on the reliable telemetry channel.
+
+        Unlike ``telemetry_drop`` (mirror silenced, reports gone for
+        good) this exercises the transport: frames are lost but the
+        channel retransmits, so the feed degrades to late rather than
+        absent.  Pure time-function wrap — nothing scheduled.
+        """
+        channel = self.deployment.session.channel_to(str(event.params["edge"]))
+        channel.add_loss_window(event.at, event.end, float(event.params["rate"]))
+
+    def _arm_controller_crash(self, event: FaultEvent, index: int) -> None:
+        """Kill the edge's controller at the event time.  One-shot: the
+        fault has no duration; recovery is the supervisor's job (or
+        nobody's, which the run then shows)."""
+        deployment = self.deployment
+        deployment.controller_for(str(event.params["edge"]))  # fail at arm time
+        deployment.sim.schedule_at(
+            event.at,
+            lambda: deployment.crash_controller(str(event.params["edge"])),
+        )
+
     def _arm_clock_step(self, event: FaultEvent, index: int) -> None:
         deployment = self.deployment
         sim = deployment.sim

@@ -24,7 +24,9 @@ _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "bgp_session_down": ("a", "b"),
     "prefix_withdraw": ("edge", "prefix_index"),
     "telemetry_drop": ("edge",),
+    "telemetry_loss": ("edge", "rate"),
     "clock_step": ("edge", "step_ms"),
+    "controller_crash": ("edge",),
 }
 
 FAULT_KINDS = frozenset(_REQUIRED_PARAMS)
@@ -40,6 +42,7 @@ _NEEDS_DURATION = frozenset(
         "bgp_session_down",
         "prefix_withdraw",
         "telemetry_drop",
+        "telemetry_loss",
     }
 )
 

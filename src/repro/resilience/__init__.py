@@ -1,0 +1,48 @@
+"""Resilience: surviving the failures ``repro.faults`` injects.
+
+PR 1 made the *network* faulty; this package makes the Tango agents
+themselves survive those faults, in three layers:
+
+* :mod:`repro.resilience.channel` — the telemetry mirror as a real
+  transport: sequenced, acknowledged, retransmitted report frames over a
+  lossy control link, with bounded queues and explicit per-edge
+  staleness/health status.  Telemetry can be lost, delayed, reordered or
+  duplicated and the controller still converges.
+* :mod:`repro.resilience.degraded` — probing-based fallback when the
+  cooperative signal vanishes: a live RTT/2 estimator (the measurement
+  model of ``baselines/rtt_probing``) the controller re-points its
+  selector at while the peer feed is stale, upgrading back on heal.
+* :mod:`repro.resilience.journal` / :mod:`repro.resilience.supervisor` —
+  crash-safe control: periodic JSON checkpoints plus a write-ahead log
+  of decisions, and a supervisor that detects controller death
+  (heartbeat), restarts with capped exponential backoff, and
+  warm-restores quarantine/mode state so recovery does not re-thrash
+  tunnels.
+"""
+
+from .channel import (
+    ChannelConfig,
+    ChannelHealth,
+    ChannelStats,
+    ReliableTelemetryChannel,
+    TelemetryRecord,
+)
+from .degraded import DegradedModeConfig, ModeTransition, RttFallbackEstimator
+from .journal import ControllerJournal, WriteAheadLog
+from .supervisor import Supervisor, SupervisorEvent, SupervisorPolicy
+
+__all__ = [
+    "ChannelConfig",
+    "ChannelHealth",
+    "ChannelStats",
+    "ControllerJournal",
+    "DegradedModeConfig",
+    "ModeTransition",
+    "ReliableTelemetryChannel",
+    "RttFallbackEstimator",
+    "Supervisor",
+    "SupervisorEvent",
+    "SupervisorPolicy",
+    "TelemetryRecord",
+    "WriteAheadLog",
+]

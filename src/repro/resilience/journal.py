@@ -1,0 +1,147 @@
+"""Crash-safe controller persistence: JSON checkpoints + a write-ahead log.
+
+A :class:`ControllerJournal` owns two artifacts:
+
+* a **checkpoint** — the controller's full serialized runtime state
+  (quarantine machines, stale flags, estimation mode, tick count), taken
+  every ``checkpoint_every_ticks`` control ticks;
+* a **write-ahead log** — every decision that mutates routing state
+  (quarantine transitions, fallback toggles, mode changes, data-path
+  choice changes) appended *as it happens*, truncated at each checkpoint.
+
+Recovery replays checkpoint + WAL: the restarted controller resumes with
+the quarantine/edge-trigger/selector state it had at death, so a restart
+does not re-thrash tunnels that were already correctly quarantined (or
+re-admit ones that were not).
+
+Two backings share one API: in-memory (fast, for simulations that model
+the crash without modeling the disk) and directory-backed (checkpoint
+written atomically via rename, WAL as append-only JSON lines — a journal
+re-opened on the same directory recovers across real process restarts).
+All serialization uses sorted keys and compact separators, so
+:meth:`ControllerJournal.dump` is byte-identical across replays of the
+same seed — the property the E14 acceptance test pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["WriteAheadLog", "ControllerJournal"]
+
+
+def _dumps(payload: Any) -> str:
+    """Stable JSON: sorted keys, no insignificant whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class WriteAheadLog:
+    """Append-only decision log, optionally backed by a JSONL file."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self._entries: list[dict] = []
+        if path is not None and path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        self._entries.append(json.loads(line))
+
+    def append(self, entry: dict) -> None:
+        self._entries.append(entry)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(_dumps(entry) + "\n")
+
+    def entries(self) -> list[dict]:
+        """The logged entries, oldest first (a copy)."""
+        return list(self._entries)
+
+    def truncate(self) -> None:
+        """Drop everything — called after a successful checkpoint."""
+        self._entries.clear()
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ControllerJournal:
+    """Checkpoint + WAL pair for one controller.
+
+    Args:
+        directory: back the journal with files under this directory
+            (``checkpoint.json`` + ``wal.jsonl``); ``None`` keeps it in
+            memory.  Re-opening a journal on an existing directory loads
+            whatever a previous incarnation persisted — recovery across
+            process restarts.
+        checkpoint_every_ticks: controller ticks between checkpoints.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str | Path] = None,
+        checkpoint_every_ticks: int = 50,
+    ) -> None:
+        if checkpoint_every_ticks < 1:
+            raise ValueError("checkpoint_every_ticks must be >= 1")
+        self.checkpoint_every_ticks = checkpoint_every_ticks
+        self.directory = Path(directory) if directory is not None else None
+        self.checkpoints = 0
+        self.records = 0
+        self._snapshot: Optional[dict] = None
+        wal_path = None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            checkpoint_path = self.directory / "checkpoint.json"
+            if checkpoint_path.exists():
+                with open(checkpoint_path, "r", encoding="utf-8") as handle:
+                    self._snapshot = json.load(handle)
+            wal_path = self.directory / "wal.jsonl"
+        self.wal = WriteAheadLog(wal_path)
+
+    # -- write path ----------------------------------------------------------------
+
+    def record(self, kind: str, t: float, **payload: Any) -> None:
+        """Append one decision to the WAL (before it takes effect is the
+        contract; the controller calls this from the mutation site)."""
+        entry = {"kind": kind, "t": t}
+        entry.update(payload)
+        self.wal.append(entry)
+        self.records += 1
+
+    def checkpoint(self, snapshot: dict) -> None:
+        """Persist a full state snapshot and truncate the WAL."""
+        self._snapshot = snapshot
+        self.checkpoints += 1
+        if self.directory is not None:
+            target = self.directory / "checkpoint.json"
+            tmp = self.directory / "checkpoint.json.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(_dumps(snapshot))
+            os.replace(tmp, target)
+        self.wal.truncate()
+
+    # -- recovery ------------------------------------------------------------------
+
+    def recover(self) -> tuple[Optional[dict], list[dict]]:
+        """The latest checkpoint (or None) plus WAL entries since it."""
+        return self._snapshot, self.wal.entries()
+
+    def dump(self) -> str:
+        """Deterministic serialization of checkpoint + WAL for replay
+        comparisons (byte-identical for identical campaigns)."""
+        return _dumps({"checkpoint": self._snapshot, "wal": self.wal.entries()})
+
+    def __repr__(self) -> str:
+        backing = "memory" if self.directory is None else str(self.directory)
+        return (
+            f"ControllerJournal({backing}, checkpoints={self.checkpoints}, "
+            f"wal={len(self.wal)})"
+        )

@@ -1,0 +1,192 @@
+"""Controller supervision: crash detection and warm restarts.
+
+The :class:`~repro.core.controller.TangoController` is a single point of
+failure for an edge's slow path — if it dies mid-epoch, nothing samples
+loss, advances quarantine machines, or heals the estimation mode (the
+data plane keeps forwarding with its last-installed state, as a real
+switch would).  A :class:`Supervisor` closes that gap:
+
+* **detection** — a heartbeat check every ``check_interval_s``: the
+  controller is dead if it stopped reporting itself running or its tick
+  counter stalled (a hung loop looks exactly like a dead one);
+* **restart** — scheduled after a capped exponential backoff (repeated
+  crashes wait longer; a stretch of healthy uptime resets the backoff);
+* **warm restore** — before restarting, the controller's state is
+  rebuilt from its journal (checkpoint + WAL replay), so recovery does
+  not re-thrash tunnels that were already quarantined, nor forget the
+  degraded/cooperative estimation mode.
+
+Every detection and restart is recorded as a :class:`SupervisorEvent`
+with simulation timestamps — the E14 benchmark's recovery-time source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..netsim.events import PeriodicTask, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.controller import TangoController
+    from .journal import ControllerJournal
+
+__all__ = ["SupervisorPolicy", "SupervisorEvent", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Detection and restart tuning.
+
+    Attributes:
+        check_interval_s: heartbeat cadence (should exceed the
+            controller's tick interval, or a healthy controller looks
+            stalled between checks).
+        restart_delay_s: backoff before the first restart attempt.
+        backoff_factor: multiplier per successive crash.
+        max_restart_delay_s: backoff ceiling.
+        healthy_after_s: uptime that resets the backoff to its base.
+    """
+
+    check_interval_s: float = 0.5
+    restart_delay_s: float = 0.25
+    backoff_factor: float = 2.0
+    max_restart_delay_s: float = 5.0
+    healthy_after_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+        if self.restart_delay_s <= 0:
+            raise ValueError("restart_delay_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_restart_delay_s < self.restart_delay_s:
+            raise ValueError("max_restart_delay_s below restart_delay_s")
+        if self.healthy_after_s <= 0:
+            raise ValueError("healthy_after_s must be positive")
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision action (all times are simulation seconds)."""
+
+    t: float
+    action: str  # crash-detected | restart | backoff-reset
+    restarts: int = 0
+    delay_s: float = 0.0
+
+
+class Supervisor:
+    """Watches one controller; restarts it warm from its journal.
+
+    Args:
+        controller: the controller to supervise (already started).
+        sim: simulator whose clock drives the heartbeat.
+        journal: the controller's journal; ``None`` restarts cold (the
+            PR 1 behavior — runtime state reset, traces kept).
+        policy: detection/backoff tuning.
+    """
+
+    def __init__(
+        self,
+        controller: "TangoController",
+        sim: Simulator,
+        journal: Optional["ControllerJournal"] = None,
+        policy: SupervisorPolicy = SupervisorPolicy(),
+    ) -> None:
+        self.controller = controller
+        self.sim = sim
+        self.journal = journal
+        self.policy = policy
+        self.events: list[SupervisorEvent] = []
+        self.restarts = 0
+        self._task: Optional[PeriodicTask] = None
+        self._last_ticks = controller.ticks
+        self._delay_s = policy.restart_delay_s
+        self._restart_pending = False
+        self._last_restart_at: Optional[float] = None
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("supervisor already started")
+        self._last_ticks = self.controller.ticks
+        self._task = self.sim.call_every(
+            self.policy.check_interval_s, self._check
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # -- heartbeat -----------------------------------------------------------------
+
+    def _check(self) -> None:
+        if self._restart_pending:
+            return
+        now = self.sim.now
+        alive = self.controller.running and self.controller.ticks > self._last_ticks
+        self._last_ticks = self.controller.ticks
+        if alive:
+            if (
+                self._last_restart_at is not None
+                and self._delay_s > self.policy.restart_delay_s
+                and now - self._last_restart_at >= self.policy.healthy_after_s
+            ):
+                self._delay_s = self.policy.restart_delay_s
+                self.events.append(
+                    SupervisorEvent(t=now, action="backoff-reset", restarts=self.restarts)
+                )
+            return
+        delay = self._delay_s
+        self._delay_s = min(
+            delay * self.policy.backoff_factor, self.policy.max_restart_delay_s
+        )
+        self._restart_pending = True
+        self.events.append(
+            SupervisorEvent(
+                t=now, action="crash-detected", restarts=self.restarts, delay_s=delay
+            )
+        )
+        self.sim.schedule_in(delay, self._restart)
+
+    def _restart(self) -> None:
+        controller = self.controller
+        if controller.running and controller.ticks > self._last_ticks:
+            # Raced with a manual restart: the loop is ticking again.
+            self._restart_pending = False
+            return
+        if controller.running:
+            # Hung, not dead: the flag is up but the loop is wedged.
+            # Take it down so the restart below is a clean one.
+            controller.stop()
+        if self.journal is not None:
+            snapshot, wal = self.journal.recover()
+            controller.restore_state(snapshot, wal)
+            controller.start(warm=True)
+        else:
+            controller.start()
+        self.restarts += 1
+        self._restart_pending = False
+        self._last_ticks = controller.ticks
+        self._last_restart_at = self.sim.now
+        self.events.append(
+            SupervisorEvent(
+                t=self.sim.now, action="restart", restarts=self.restarts
+            )
+        )
+
+    # -- metrics -------------------------------------------------------------------
+
+    def recovery_times(self) -> list[float]:
+        """Per-crash downtime: crash detection to successful restart."""
+        out = []
+        detected: Optional[float] = None
+        for event in self.events:
+            if event.action == "crash-detected":
+                detected = event.t
+            elif event.action == "restart" and detected is not None:
+                out.append(event.t - detected)
+                detected = None
+        return out

@@ -34,6 +34,9 @@ from ..netsim.delaymodels import GaussianJitterDelay
 from ..netsim.links import ConstantLoss, WindowedLoss
 from ..netsim.topology import Network
 from ..netsim.trace import PacketFactory, ProbeGenerator
+from ..resilience.channel import ChannelConfig
+from ..resilience.journal import ControllerJournal
+from ..resilience.supervisor import Supervisor, SupervisorPolicy
 from ..telemetry.store import MeasurementStore
 
 __all__ = ["PacketLevelDeployment"]
@@ -56,6 +59,9 @@ class PacketLevelDeployment:
             of paths that carry one (0 disables).
         auth_key: non-empty enables authenticated telemetry.
         edge_noise_ms: (base, sigma) of the access links.
+        telemetry_channel: run the feedback loop over the reliable
+            sequenced/acked transport with this config instead of the
+            idealized lossless mirrors (``None`` keeps PR 1 behavior).
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class PacketLevelDeployment:
         instability_loss: float = 0.0,
         auth_key: bytes = b"",
         edge_noise_ms: tuple[float, float] = DEFAULT_EDGE_NOISE_MS,
+        telemetry_channel: Optional[ChannelConfig] = None,
     ) -> None:
         for edge in (pairing.a, pairing.b):
             if edge.name not in calibrations:
@@ -105,6 +112,11 @@ class PacketLevelDeployment:
         self.state: Optional[SessionState] = None
         self._probe_generators: list[ProbeGenerator] = []
         self._probe_selectors: dict[str, ApplicationSelector] = {}
+        self.telemetry_channel = telemetry_channel
+        #: edge name -> attached TangoController (the controller-crash
+        #: fault and the supervisor both resolve controllers here).
+        self.controllers: dict[str, object] = {}
+        self.supervisors: dict[str, Supervisor] = {}
 
     # -- establishment ------------------------------------------------------------
 
@@ -115,7 +127,10 @@ class PacketLevelDeployment:
         a, b = self.pairing.a.name, self.pairing.b.name
         self._build_wide_area(a, b, self.state.tunnels_a_to_b)
         self._build_wide_area(b, a, self.state.tunnels_b_to_a)
-        self.session.start_telemetry_mirrors()
+        if self.telemetry_channel is not None:
+            self.session.start_reliable_telemetry(self.telemetry_channel)
+        else:
+            self.session.start_telemetry_mirrors()
         return self.state
 
     def _build_edge_links(self) -> None:
@@ -251,6 +266,50 @@ class PacketLevelDeployment:
         for generator in self._probe_generators:
             generator.stop()
         self._probe_generators.clear()
+
+    # -- controllers & supervision ---------------------------------------------------
+
+    def attach_controller(self, edge_name: str, controller) -> None:
+        """Register ``edge_name``'s controller so faults and supervisors
+        can find it (the ``controller_crash`` fault's handle)."""
+        self.pairing.edge(edge_name)  # validates the name
+        self.controllers[edge_name] = controller
+
+    def controller_for(self, edge_name: str):
+        """The controller attached at ``edge_name`` (LookupError with the
+        attached names otherwise)."""
+        try:
+            return self.controllers[edge_name]
+        except KeyError:
+            raise LookupError(
+                f"no controller attached at edge {edge_name!r}; attached: "
+                f"{sorted(self.controllers)}"
+            ) from None
+
+    def supervise(
+        self,
+        edge_name: str,
+        journal: Optional[ControllerJournal] = None,
+        policy: SupervisorPolicy = SupervisorPolicy(),
+    ) -> Supervisor:
+        """Start a supervisor over ``edge_name``'s attached controller.
+
+        With a journal, restarts are warm (checkpoint + WAL replay);
+        without, they are cold.  The supervisor is returned and kept in
+        :attr:`supervisors`.
+        """
+        controller = self.controller_for(edge_name)
+        supervisor = Supervisor(
+            controller, self.sim, journal=journal, policy=policy
+        )
+        supervisor.start()
+        self.supervisors[edge_name] = supervisor
+        return supervisor
+
+    def crash_controller(self, edge_name: str) -> None:
+        """Kill ``edge_name``'s controller now (its supervisor, if any,
+        will notice on its next heartbeat)."""
+        self.controller_for(edge_name).crash()
 
     # -- failure injection ----------------------------------------------------------
 

@@ -299,6 +299,7 @@ class VultrDeployment(PacketLevelDeployment):
         report_interval_s: float = 0.100,
         instability_loss: float = 0.0,
         auth_key: bytes = b"",
+        telemetry_channel=None,
     ) -> None:
         super().__init__(
             pairing=make_pairing(probe_interval_s, report_interval_s, auth_key),
@@ -308,6 +309,7 @@ class VultrDeployment(PacketLevelDeployment):
             instability_loss=instability_loss,
             auth_key=auth_key,
             edge_noise_ms=(EDGE_NOISE_BASE_MS, EDGE_NOISE_SIGMA_MS),
+            telemetry_channel=telemetry_channel,
         )
         # Convenience aliases used throughout the experiments.
         self.host_ny = self.hosts["ny"]

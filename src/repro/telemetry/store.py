@@ -105,6 +105,18 @@ class TimeSeries:
             return None
         return float(self._times[self._size - 1])
 
+    @property
+    def last_value(self) -> Optional[float]:
+        """Value of the most recent sample, or None when empty.
+
+        The None-returning companion of :attr:`last_time` — callers that
+        would otherwise index ``values[-1]`` (IndexError on an empty
+        series) get the same consistent empty-series contract.
+        """
+        if not self._size:
+            return None
+        return float(self._values[self._size - 1])
+
     def mean(self) -> float:
         """Mean value over the whole series (nan when empty)."""
         return float(np.mean(self.values)) if self._size else float("nan")
@@ -175,5 +187,20 @@ class MeasurementStore:
             return None
         return series.last_time
 
+    def last_value(self, path_id: int) -> Optional[float]:
+        """Value of ``path_id``'s most recent sample, or None if unmeasured."""
+        series = self._series.get(path_id)
+        if series is None:
+            return None
+        return series.last_value
+
     def items(self) -> Iterator[tuple[int, TimeSeries]]:
-        return iter(sorted(self._series.items()))
+        """(path_id, series) pairs with at least one sample, sorted.
+
+        Consistent with :meth:`path_ids`: empty series that exist only
+        because :meth:`series` was called on an unmeasured path (it
+        creates on read) are not reported.
+        """
+        return iter(
+            (p, s) for p, s in sorted(self._series.items()) if len(s)
+        )

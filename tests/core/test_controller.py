@@ -308,6 +308,64 @@ class TestQuarantineMachine:
         assert actions[-1] == "restore"
         assert not controller.fallback_active
 
+    def test_probation_begins_exactly_at_backoff_expiry(self):
+        """now >= probation_at is inclusive: the tick that lands exactly
+        on the expiry releases the tunnel, not the one after."""
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        gateway.outbound.record(0, 0.0, 0.030)
+        controller.start()
+        net.run(until=2.5)
+        events = {}
+        for q in controller.quarantine_log:
+            if q.path_id == 0:
+                events.setdefault(q.action, q.t)
+        # Quarantined at 0.7 with 1.0 s backoff; ticks land on multiples
+        # of 0.1, so the expiry at 1.7 coincides with a tick exactly.
+        assert events["quarantine"] == pytest.approx(0.7)
+        assert events["probation"] == pytest.approx(1.7)
+
+    def test_restore_on_exactly_probation_ticks_healthy_ticks(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway, probation_ticks=3)
+        gateway.outbound.record(0, 0.0, 0.030)
+        # Feed heals at t=1.0, well before probation starts at 1.7.
+        net.sim.call_every(
+            0.05, lambda: gateway.outbound.record(0, net.sim.now, 0.030), start=1.0
+        )
+        controller.start()
+        net.run(until=3.0)
+        events = {
+            q.action: q.t for q in controller.quarantine_log if q.path_id == 0
+        }
+        # Probation at 1.7; healthy ticks at 1.8, 1.9, 2.0 -> restored on
+        # the third, not one tick earlier or later.
+        assert events["probation"] == pytest.approx(1.7)
+        assert events["restore"] == pytest.approx(2.0)
+        assert controller.quarantine_state(0) == "healthy"
+
+    def test_restore_resets_backoff_to_base(self):
+        net, gateway = make_setup()
+        controller = self.make_controller(net, gateway)
+        gateway.outbound.record(0, 0.0, 0.030)
+        # Heal before probation, then go silent again after the restore.
+        healing = net.sim.call_every(
+            0.05, lambda: gateway.outbound.record(0, net.sim.now, 0.030), start=1.0
+        )
+        net.sim.schedule_at(2.1, healing.stop)
+        controller.start()
+        net.run(until=5.0)
+        backoffs = [
+            q.backoff_s
+            for q in controller.quarantine_log
+            if q.action == "quarantine" and q.path_id == 0
+        ]
+        # The post-restore quarantine starts from the base delay again,
+        # not from the doubled value the first quarantine advanced to.
+        assert len(backoffs) >= 2
+        assert backoffs[0] == pytest.approx(1.0)
+        assert backoffs[1] == pytest.approx(1.0)
+
     def test_backoff_capped(self):
         net, gateway = make_setup()
         controller = self.make_controller(

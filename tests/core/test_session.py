@@ -145,6 +145,29 @@ class TestDiscardBefore:
         mirror.sync(now=10.0)
         assert len(sink.series(1)) == 0
 
+    def test_empty_mirror_discards_nothing(self):
+        mirror = TelemetryMirror(MeasurementStore(), MeasurementStore())
+        assert mirror.discard_before(100.0) == 0
+        assert mirror.samples_discarded == 0
+
+    def test_discard_all_pending(self):
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.extend(1, np.asarray([0.0, 1.0, 2.0]), np.full(3, 0.03))
+        source.extend(2, np.asarray([0.5, 1.5]), np.full(2, 0.04))
+        mirror = TelemetryMirror(source, sink, latency_s=0.0)
+        assert mirror.discard_before(10.0) == 5
+        mirror.sync(now=20.0)
+        assert sink.path_ids() == []
+
+    def test_exact_boundary_timestamp_survives(self):
+        """discard_before(t) is half-open: a sample at exactly t stays."""
+        source, sink = MeasurementStore(), MeasurementStore()
+        source.extend(1, np.asarray([0.0, 1.0, 2.0]), np.full(3, 0.03))
+        mirror = TelemetryMirror(source, sink, latency_s=0.0)
+        assert mirror.discard_before(1.0) == 1  # only the t=0 sample
+        mirror.sync(now=3.0)
+        np.testing.assert_array_equal(sink.series(1).times, [1.0, 2.0])
+
 
 class TestMirrorRegistry:
     def test_mirror_to_returns_feeding_mirror(self, deployment):

@@ -15,7 +15,9 @@ class TestFaultEvent:
     def test_known_kinds(self):
         assert "link_blackhole" in FAULT_KINDS
         assert "clock_step" in FAULT_KINDS
-        assert len(FAULT_KINDS) == 8
+        assert "telemetry_loss" in FAULT_KINDS
+        assert "controller_crash" in FAULT_KINDS
+        assert len(FAULT_KINDS) == 10
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown fault kind"):

@@ -182,3 +182,36 @@ class TestLastTime:
         store.record(3, 1.25, 0.03)
         assert store.last_time(3) == 1.25
         assert store.last_time(7) is None
+
+
+class TestEmptySeriesContract:
+    """Empty series answer None everywhere, never raise or diverge."""
+
+    def test_empty_series_has_no_last_value(self):
+        assert TimeSeries().last_value is None
+
+    def test_last_value_tracks_appends(self):
+        series = TimeSeries()
+        series.append(1.0, 0.03)
+        series.append(2.5, 0.031)
+        assert series.last_value == 0.031
+
+    def test_store_last_value_per_path(self):
+        store = MeasurementStore()
+        store.record(3, 1.25, 0.03)
+        assert store.last_value(3) == 0.03
+        assert store.last_value(7) is None
+
+    def test_created_but_empty_series_answers_none(self):
+        store = MeasurementStore()
+        store.series(9)  # created on read, never written
+        assert store.last_time(9) is None
+        assert store.last_value(9) is None
+
+    def test_items_consistent_with_path_ids(self):
+        """items() must not leak series that path_ids() hides."""
+        store = MeasurementStore()
+        store.record(3, 0.0, 1.0)
+        store.record(1, 0.0, 1.0)
+        store.series(7)  # created but empty
+        assert [p for p, _ in store.items()] == store.path_ids() == [1, 3]

@@ -79,3 +79,46 @@ class TestFaults:
         plan = FaultPlan.from_json(out)
         assert plan.name == "blackhole-demo"
         assert len(plan.events) == 3
+
+    def test_run_parses_resilient_flag(self):
+        args = build_parser().parse_args(["faults", "run", "--resilient"])
+        assert args.resilient
+
+
+class TestFaultsRunBadPlan:
+    """Malformed plans must exit non-zero with a message, not traceback."""
+
+    def test_invalid_json_plan(self, tmp_path, capsys):
+        plan = tmp_path / "broken.json"
+        plan.write_text("{not json", encoding="utf-8")
+        assert main(["faults", "run", "--plan", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid fault plan" in err
+        assert "Traceback" not in err
+
+    def test_unknown_fault_kind(self, tmp_path, capsys):
+        plan = tmp_path / "unknown-kind.json"
+        plan.write_text(
+            '{"name": "bad", "events": [{"kind": "meteor_strike", "at": 1.0}]}',
+            encoding="utf-8",
+        )
+        assert main(["faults", "run", "--plan", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "meteor_strike" in err
+
+    def test_missing_required_params(self, tmp_path, capsys):
+        plan = tmp_path / "missing-params.json"
+        plan.write_text(
+            '{"name": "bad", "events": '
+            '[{"kind": "link_blackhole", "at": 1.0, "duration": 2.0}]}',
+            encoding="utf-8",
+        )
+        assert main(["faults", "run", "--plan", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "missing parameter" in err
+
+    def test_unreadable_plan_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["faults", "run", "--plan", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read fault plan" in err
