@@ -14,6 +14,10 @@ Reproduces *It Takes Two to Tango: Cooperative Edge-to-Edge Routing*
 * :mod:`repro.scenarios` — the Vultr NY/LA deployment and synthetic
   topologies.
 * :mod:`repro.analysis` — statistics, a TCP impact model, and reports.
+* :mod:`repro.faults` — deterministic fault plans and their injector.
+* :mod:`repro.resilience` — degraded mode, journaling, supervision.
+* :mod:`repro.lint` — static determinism & Gao–Rexford policy checks
+  (the ``tango-repro lint`` engine).
 
 Quickstart::
 

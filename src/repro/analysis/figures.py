@@ -15,6 +15,7 @@ import csv
 from pathlib import Path
 from typing import Union
 
+from ..scenarios.deployment import PacketLevelDeployment
 from ..scenarios.vultr import INSTABILITY_HOUR, ROUTE_CHANGE_HOUR
 
 __all__ = [
@@ -28,7 +29,12 @@ PathLike = Union[str, Path]
 
 
 def _write_series_csv(
-    path: Path, deployment, src: str, t0: float, t1: float, interval: float
+    path: Path,
+    deployment: PacketLevelDeployment,
+    src: str,
+    t0: float,
+    t1: float,
+    interval: float,
 ) -> int:
     """One CSV: time_hours plus a measured-OWD-ms column per path."""
     _, true = deployment.run_fast_campaign(src, t0, t1, interval_s=interval)
@@ -48,7 +54,7 @@ def _write_series_csv(
 
 
 def export_fig4_left(
-    deployment, out_dir: PathLike, interval_s: float = 5.0
+    deployment: PacketLevelDeployment, out_dir: PathLike, interval_s: float = 5.0
 ) -> Path:
     """Hours 25–48, NY→LA, all paths (the figure's left panel)."""
     out = Path(out_dir) / "fig4_left_owd_ny_to_la.csv"
@@ -59,7 +65,7 @@ def export_fig4_left(
 
 
 def export_fig4_middle(
-    deployment, out_dir: PathLike, interval_s: float = 0.5
+    deployment: PacketLevelDeployment, out_dir: PathLike, interval_s: float = 0.5
 ) -> Path:
     """The hour around the route-change event (middle panel)."""
     event = ROUTE_CHANGE_HOUR * 3600.0
@@ -71,7 +77,7 @@ def export_fig4_middle(
 
 
 def export_fig4_right(
-    deployment, out_dir: PathLike, interval_s: float = 0.05
+    deployment: PacketLevelDeployment, out_dir: PathLike, interval_s: float = 0.05
 ) -> Path:
     """The ~12 minutes around the instability window (right panel)."""
     event = INSTABILITY_HOUR * 3600.0
@@ -82,7 +88,9 @@ def export_fig4_right(
     return out
 
 
-def export_all(deployment, out_dir: PathLike) -> list[Path]:
+def export_all(
+    deployment: PacketLevelDeployment, out_dir: PathLike
+) -> list[Path]:
     """Write every figure's data; returns the paths written."""
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)

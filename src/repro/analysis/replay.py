@@ -216,7 +216,9 @@ def static_chooser(path_id: int) -> Chooser:
     """Always ``path_id`` — the BGP-default behaviour when it is the
     lowest-id path."""
 
-    def choose(_views, _current, _now) -> int:
+    def choose(
+        _views: Sequence[PathView], _current: int, _now: float
+    ) -> int:
         return path_id
 
     return choose
@@ -226,7 +228,7 @@ def greedy_chooser() -> Chooser:
     """Lowest visible mean; keeps the current path when nothing is
     visible (twin of :class:`repro.core.policy.LowestDelaySelector`)."""
 
-    def choose(views, current, _now) -> int:
+    def choose(views: Sequence[PathView], current: int, _now: float) -> int:
         best, best_mean = current, float("inf")
         for view in views:
             if view.mean is not None and view.mean < best_mean:
@@ -241,7 +243,7 @@ def hysteresis_chooser(margin_s: float = 0.002, dwell_s: float = 1.0) -> Chooser
     (twin of :class:`repro.core.policy.HysteresisSelector`)."""
     state = {"last_switch": float("-inf")}
 
-    def choose(views, current, now) -> int:
+    def choose(views: Sequence[PathView], current: int, now: float) -> int:
         if now - state["last_switch"] < dwell_s:
             return current
         current_mean = None
@@ -265,7 +267,7 @@ def jitter_aware_chooser(jitter_weight: float = 10.0) -> Chooser:
     """Score = mean + weight × std (twin of
     :class:`repro.core.policy.JitterAwareSelector`)."""
 
-    def choose(views, current, _now) -> int:
+    def choose(views: Sequence[PathView], current: int, _now: float) -> int:
         best, best_score = current, float("inf")
         for view in views:
             if view.mean is None or view.std is None:

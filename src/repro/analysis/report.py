@@ -13,7 +13,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 __all__ = ["format_table", "format_kv", "series_sparkline"]
 
 
-def _render_cell(value) -> str:
+def _render_cell(value: object) -> str:
     if value is None:
         return "-"
     if isinstance(value, float):

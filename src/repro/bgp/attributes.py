@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 __all__ = [
     "Origin",
@@ -98,7 +98,7 @@ class AsPath:
         """The AS that originated the route."""
         return self.asns[-1] if self.asns else None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.asns)
 
     def __len__(self) -> int:

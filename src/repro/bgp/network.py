@@ -210,7 +210,9 @@ class BgpNetwork:
                 sender.adj_rib_out.record(receiver_name, announcement)
                 if receiver.receive_announcement(sender_name, announcement):
                     changed = True
-            for prefix in previously_sent - set(exports):
+            # Sorted so withdrawal delivery order never depends on set
+            # iteration order (TNG005; the replay-determinism invariant).
+            for prefix in sorted(previously_sent - set(exports), key=str):
                 sender.adj_rib_out.forget(receiver_name, prefix)
                 if receiver.receive_withdrawal(sender_name, Withdrawal(prefix)):
                     changed = True

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from .attributes import RouteAttributes
+from .attributes import AsPath, RouteAttributes
 from .messages import Announcement, Prefix
 from .policy import Relationship
 
@@ -22,7 +22,7 @@ class RibEntry:
     relationship: Relationship
 
     @property
-    def as_path(self):
+    def as_path(self) -> AsPath:
         return self.attributes.as_path
 
 

@@ -173,7 +173,9 @@ class BgpRouter:
         """Re-run best-path selection for every known prefix."""
         changed = False
         prefixes = self.adj_rib_in.prefixes() | set(self.loc_rib.routes())
-        for prefix in prefixes:
+        # Sorted so decision order never depends on set iteration order
+        # (TNG005; the replay-determinism invariant).
+        for prefix in sorted(prefixes, key=str):
             changed = self._decide(prefix) or changed
         return changed
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``tango-repro <command>``.
 
-Six subcommands, each a self-contained run of one slice of the system:
+Seven subcommands, each a self-contained run of one slice of the system:
 
 * ``discover`` — run Figure 3's iterative suppression discovery and print
   the path/community table per direction.
@@ -15,6 +15,17 @@ Six subcommands, each a self-contained run of one slice of the system:
   quarantine-enabled controller, and prints the recovery log (identical
   bytes for identical plan + seed); ``faults sample-plan`` prints a
   template plan.
+* ``lint`` — static determinism & policy-safety analysis: AST rules
+  (``TNG001``–``TNG006``) over source files, Gao–Rexford semantic checks
+  over every shipped scenario, and fault-plan target validation.
+  Examples::
+
+      tango-repro lint src/repro                 # the CI gate
+      tango-repro lint src/repro --format json   # machine-readable
+      tango-repro lint --select TNG005 src       # one rule only
+      tango-repro lint --plan plan.json src      # also validate a plan
+      tango-repro lint --write-baseline lint-baseline.json src
+                                                 # accept current state
 
 Installed as a console script by ``pip install -e .``; also runnable as
 ``python -m repro.cli ...``.
@@ -24,7 +35,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults.plan import FaultPlan
+    from .netsim.packet import Packet
 
 __all__ = ["main", "build_parser"]
 
@@ -114,6 +129,60 @@ def build_parser() -> argparse.ArgumentParser:
     faults_sub.add_parser(
         "sample-plan", help="print a template fault plan as JSON"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & Gao-Rexford policy-safety analysis",
+        description=(
+            "Run the TNG determinism rules (wall-clock reads, unseeded/"
+            "global RNGs, OS entropy, ordered set iteration, mutable "
+            "defaults) over the given files, the semantic Gao-Rexford "
+            "checks over every shipped scenario, and target validation "
+            "for any --plan files.  Exit status: 0 clean, 1 findings, "
+            "2 usage errors.  Suppress one occurrence with "
+            "'# tango: noqa[TNG001]' (with a comment saying why)."
+        ),
+        epilog=(
+            "examples: tango-repro lint src/repro | "
+            "tango-repro lint --format json src/repro | "
+            "tango-repro lint --select TNG001,TNG005 src | "
+            "tango-repro lint --plan examples/faults_blackhole.json src/repro"
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule codes to restrict to, e.g. TNG001,TNG005",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="baseline file filtering known findings "
+        "(default: lint-baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="accept the current findings into FILE and exit 0",
+    )
+    lint.add_argument(
+        "--plan", action="append", default=[], metavar="FILE",
+        help="also validate this fault-plan JSON against the Vultr "
+        "scenario (repeatable)",
+    )
+    lint.add_argument(
+        "--no-semantics", action="store_true",
+        help="skip the Gao-Rexford checks over shipped scenarios",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule code with its severity and summary, then exit",
+    )
     return parser
 
 
@@ -196,13 +265,13 @@ def cmd_failover(args: argparse.Namespace) -> int:
     send = deployment.sender_for("ny")
     deliveries: list[tuple[float, int]] = []
 
-    def on_delivery(packet, now):
+    def on_delivery(packet: Packet, now: float) -> None:
         if packet.flow_label == 9:
             deliveries.append((packet.meta["sent"], packet.meta["tango_path_id"]))
 
     deployment.host_la._on_packet = on_delivery
 
-    def emit_data():
+    def emit_data() -> None:
         packet = factory.build()
         packet.meta["sent"] = deployment.sim.now
         send(packet)
@@ -262,7 +331,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_fault_plan():
+def _demo_fault_plan() -> FaultPlan:
     from .faults import FaultEvent, FaultPlan
 
     return FaultPlan(
@@ -402,6 +471,27 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from .lint import DEFAULT_BASELINE, list_rules, run_lint
+
+    if args.list_rules:
+        return list_rules()
+    baseline = args.baseline
+    if baseline is None and os.path.exists(DEFAULT_BASELINE):
+        baseline = DEFAULT_BASELINE
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline_path=baseline,
+        write_baseline=args.write_baseline,
+        plan_paths=args.plan,
+        semantics=not args.no_semantics,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "discover":
@@ -414,6 +504,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_mesh(args)
     if args.command == "figures":
         return cmd_figures(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "faults":
         if args.faults_command == "run":
             return cmd_faults_run(args)

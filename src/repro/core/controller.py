@@ -45,7 +45,7 @@ Resilience extensions (``repro.resilience``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 
 from ..netsim.events import PeriodicTask, Simulator
@@ -57,7 +57,7 @@ from ..resilience.degraded import (
 )
 from ..telemetry.store import TimeSeries
 from .gateway import TangoGateway
-from .policy import GuardedSelector
+from .policy import GuardedSelector, MeasuredSelector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.journal import ControllerJournal
@@ -392,12 +392,12 @@ class TangoController:
         elif self._cooperative_store is not None:
             selector.store = self._cooperative_store
 
-    def _measured_selector(self):
+    def _measured_selector(self) -> Optional[MeasuredSelector]:
         """The store-reading selector deciding data traffic, if any."""
         selector = self.gateway.data_selector
         if isinstance(selector, GuardedSelector):
             selector = selector.inner
-        return selector if hasattr(selector, "store") else None
+        return selector if isinstance(selector, MeasuredSelector) else None
 
     def _capture_cooperative_store(self) -> None:
         """Remember which store means "cooperative" for mode swaps.

@@ -18,7 +18,11 @@ from __future__ import annotations
 import ipaddress
 from typing import Optional
 
-from ..dataplane.programs import TangoReceiverProgram, TangoSenderProgram
+from ..dataplane.programs import (
+    PathSelector,
+    TangoReceiverProgram,
+    TangoSenderProgram,
+)
 from ..dataplane.seqnum import SequenceTracker
 from ..netsim.node import ProgrammableSwitch
 from ..netsim.packet import TangoHeader
@@ -88,16 +92,16 @@ class TangoGateway:
         for tunnel in tunnels:
             self.tunnel_table.add(remote_host_prefix, tunnel)
 
-    def set_selector(self, selector) -> None:
+    def set_selector(self, selector: PathSelector) -> None:
         """Swap the forwarding policy (takes effect on the next packet)."""
         self.sender.selector = selector
 
     @property
-    def selector(self):
+    def selector(self) -> PathSelector:
         return self.sender.selector
 
     @property
-    def data_selector(self):
+    def data_selector(self) -> PathSelector:
         """The selector deciding *data* traffic.
 
         When probe streams are pinned through an
@@ -109,7 +113,7 @@ class TangoGateway:
             return selector.default
         return selector
 
-    def set_data_selector(self, selector) -> None:
+    def set_data_selector(self, selector: PathSelector) -> None:
         """Replace the data-traffic selector, leaving pinned probe classes
         untouched — how the controller wraps the policy with a quarantine
         guard without disturbing per-path measurement streams."""

@@ -24,16 +24,18 @@ Policies included:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..dataplane.programs import PathSelector
 from ..netsim.packet import Packet
 from ..telemetry.loss import LossMonitor
 from ..telemetry.store import MeasurementStore
 from .tunnels import TangoTunnel, bgp_best
 
 __all__ = [
+    "MeasuredSelector",
     "StaticSelector",
     "LowestDelaySelector",
     "HysteresisSelector",
@@ -42,6 +44,17 @@ __all__ = [
     "ApplicationSelector",
     "GuardedSelector",
 ]
+
+
+@runtime_checkable
+class MeasuredSelector(PathSelector, Protocol):
+    """A selector whose decisions read a swappable measurement store.
+
+    Degraded mode (:mod:`repro.resilience.degraded`) repoints ``store`` at
+    the local RTT estimates while the cooperative feed is stale, then back.
+    """
+
+    store: MeasurementStore
 
 
 class StaticSelector:
@@ -269,11 +282,15 @@ class ApplicationSelector:
     Tango switch.
     """
 
-    def __init__(self, default, classes: Optional[dict] = None) -> None:
+    def __init__(
+        self,
+        default: PathSelector,
+        classes: Optional[dict[int, PathSelector]] = None,
+    ) -> None:
         self.default = default
-        self.classes = dict(classes or {})
+        self.classes: dict[int, PathSelector] = dict(classes or {})
 
-    def assign(self, flow_label: int, selector) -> None:
+    def assign(self, flow_label: int, selector: PathSelector) -> None:
         """Bind a flow class to its own selector."""
         self.classes[flow_label] = selector
 
@@ -305,7 +322,9 @@ class GuardedSelector:
     can prove themselves healthy again.
     """
 
-    def __init__(self, inner, quarantined: Optional[set[int]] = None) -> None:
+    def __init__(
+        self, inner: PathSelector, quarantined: Optional[set[int]] = None
+    ) -> None:
         self.inner = inner
         self.quarantined: set[int] = quarantined if quarantined is not None else set()
         self.fallbacks = 0

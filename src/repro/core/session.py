@@ -22,7 +22,7 @@ freshness (one report interval plus the reverse path delay), not packets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -30,10 +30,13 @@ from ..bgp.attributes import RouteAttributes
 from ..bgp.network import BgpNetwork
 from ..netsim.events import Simulator
 from ..telemetry.store import MeasurementStore
-from .config import PairingConfig
+from .config import EdgeConfig, PairingConfig
 from .discovery import DiscoveryResult, PathDiscovery
 from .gateway import TangoGateway
 from .tunnels import TangoTunnel, build_tunnels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.channel import ChannelConfig, ReliableTelemetryChannel
 
 __all__ = ["TelemetryMirror", "SessionState", "TangoSession"]
 
@@ -200,7 +203,9 @@ class TangoSession:
         )
         return self.state
 
-    def _pin_route_prefixes(self, edge, discovery: DiscoveryResult) -> None:
+    def _pin_route_prefixes(
+        self, edge: EdgeConfig, discovery: DiscoveryResult
+    ) -> None:
         """Announce the destination edge's route prefixes, one per path."""
         router = self.bgp.router(edge.tenant_router)
         for path in discovery.paths:
@@ -243,7 +248,9 @@ class TangoSession:
         self._mirrors_by_edge[self.pairing.b.name] = (mirror_to_b, task_b)
         return mirror_to_a, mirror_to_b
 
-    def start_reliable_telemetry(self, config=None, seed: int = 0):
+    def start_reliable_telemetry(
+        self, config: Optional[ChannelConfig] = None, seed: int = 0
+    ) -> tuple[ReliableTelemetryChannel, ReliableTelemetryChannel]:
         """Begin the feedback loop over the sequenced, acked transport.
 
         Each direction's reports ride a
@@ -287,7 +294,7 @@ class TangoSession:
         self._channels_by_edge[self.pairing.b.name] = channel_to_b
         return channel_to_a, channel_to_b
 
-    def channel_to(self, edge_name: str):
+    def channel_to(self, edge_name: str) -> ReliableTelemetryChannel:
         """The reliable channel feeding ``edge_name`` (the
         ``telemetry_loss`` fault's handle).  LookupError when the session
         runs plain lossless mirrors instead."""

@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..netsim.node import ProgrammableSwitch
 from ..netsim.packet import Packet
+from .tunnels import TangoTunnel
 
 __all__ = ["TokenBucket", "NetworkSlice", "SliceManager"]
 
@@ -117,14 +119,18 @@ class SliceManager:
 
     # -- the two attachment points -------------------------------------------------
 
-    def admission_program(self, switch, packet: Packet) -> Optional[Packet]:
+    def admission_program(
+        self, switch: ProgrammableSwitch, packet: Packet
+    ) -> Optional[Packet]:
         """Egress program: meter the packet's slice; None drops it."""
         network_slice = self.slice_for(packet)
         if network_slice.admit(switch.sim.now, packet.wire_bytes):
             return packet
         return None
 
-    def select(self, tunnels, packet: Packet, now: float):
+    def select(
+        self, tunnels: Sequence[TangoTunnel], packet: Packet, now: float
+    ) -> TangoTunnel:
         """PathSelector protocol: delegate to the packet's slice."""
         return self.slice_for(packet).selector.select(tunnels, packet, now)
 

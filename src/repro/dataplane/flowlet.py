@@ -21,6 +21,7 @@ import numpy as np
 
 from ..netsim.delaymodels import deterministic_uniform
 from ..netsim.packet import Packet
+from .programs import Tunnel
 
 __all__ = ["FlowletSelector"]
 
@@ -64,7 +65,7 @@ class FlowletSelector:
         self.flowlets_started = 0
         self.switches = 0
 
-    def select(self, tunnels: list, packet: Packet, now: float):
+    def select(self, tunnels: list, packet: Packet, now: float) -> Tunnel:
         if not tunnels:
             raise ValueError("no tunnels to select from")
         key = self._flow_key(packet)

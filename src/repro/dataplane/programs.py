@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Optional, Protocol
 
 from ..netsim.node import ProgrammableSwitch
 from ..netsim.packet import Packet, TangoHeader
+from ..telemetry.auth import TelemetryAuthenticator
 from .encap import decapsulate, encapsulate, is_tango_encapsulated
 from .seqnum import SequenceStamper, SequenceTracker
 
@@ -56,7 +57,7 @@ class PathSelector(Protocol):
     """The routing-decision hook (paper component 3: "logic for how a
     forwarding decision should be made based on path performance")."""
 
-    def select(self, tunnels: list, packet: Packet, now: float):
+    def select(self, tunnels: list, packet: Packet, now: float) -> Tunnel:
         """Choose one tunnel from ``tunnels`` for ``packet``."""
 
 
@@ -72,7 +73,7 @@ class TangoSenderProgram:
         tunnel_lookup: TunnelLookup,
         selector: PathSelector,
         stamper: Optional[SequenceStamper] = None,
-        authenticator=None,
+        authenticator: Optional[TelemetryAuthenticator] = None,
         on_transmit: Optional[Callable[[int, Packet], None]] = None,
     ) -> None:
         self.tunnel_lookup = tunnel_lookup
@@ -127,7 +128,7 @@ class TangoReceiverProgram:
         local_endpoints: Iterable[ipaddress.IPv6Address],
         on_measurement: Optional[MeasurementSink] = None,
         tracker: Optional[SequenceTracker] = None,
-        authenticator=None,
+        authenticator: Optional[TelemetryAuthenticator] = None,
     ) -> None:
         self.local_endpoints = set(local_endpoints)
         self.on_measurement = on_measurement

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 
 from ..bgp.messages import as_prefix
 from ..netsim.delaymodels import AsymmetryEvent, overlay
-from ..netsim.links import ConstantLoss, LossModel, OverrideLoss
+from ..netsim.links import ConstantLoss, Link, LossModel, OverrideLoss
 from .plan import FaultEvent, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -81,7 +81,7 @@ class FaultInjector:
 
     # -- link-level faults: pure functions of time ---------------------------------
 
-    def _link(self, event: FaultEvent):
+    def _link(self, event: FaultEvent) -> Link:
         return self.deployment.wan_link(event.params["src"], event.params["path"])
 
     def _arm_link_blackhole(self, event: FaultEvent, index: int) -> None:

@@ -1,0 +1,76 @@
+"""``tango lint``: static determinism & policy-safety analysis.
+
+The reproduction's two load-bearing invariants are enforced at runtime
+only: seed-exact replay (the CI chaos job byte-compares two runs) and
+Gao–Rexford-faithful export policy (what makes simulated AS paths
+trustworthy stand-ins for real transit).  This package moves both checks
+*before* the simulation runs:
+
+* :mod:`repro.lint.engine` + :mod:`repro.lint.rules` — an AST rule
+  engine (visitor pattern, per-rule codes ``TNG001``–``TNG006``,
+  ``# tango: noqa[TNGxxx]`` suppression) banning the constructs that
+  break deterministic replay: wall-clock reads, unseeded or global RNGs,
+  OS entropy, ordered set iteration, mutable default arguments.
+* :mod:`repro.lint.gao_rexford` + :mod:`repro.lint.plans` — semantic
+  checks (``TNG101``–``TNG105``) over scenario definitions, loaded but
+  never simulated: consistent session labeling (no transit leaks),
+  valley-free path feasibility, customer/provider acyclicity, community
+  actions that can actually fire, and fault plans whose targets exist.
+* :mod:`repro.lint.baseline` + :mod:`repro.lint.reporters` +
+  :mod:`repro.lint.runner` — the CI surface: committed-baseline
+  filtering, text/JSON reports, and the ``tango-repro lint`` command.
+"""
+
+from .baseline import Baseline
+from .engine import PARSE_ERROR_CODE, FileContext, LintEngine, Rule
+from .findings import Finding, Severity
+from .gao_rexford import (
+    SEMANTIC_RULE_SUMMARIES,
+    check_communities,
+    check_network,
+    leak_witness,
+    valley_free_reachable,
+)
+from .plans import (
+    ScenarioSpec,
+    check_fault_plan,
+    check_plan_files,
+    check_scenario,
+    enterprise_spec,
+    mesh_spec,
+    shipped_scenario_specs,
+    vultr_spec,
+)
+from .reporters import render_json, render_text
+from .rules import RULE_SUMMARIES, default_rules
+from .runner import DEFAULT_BASELINE, list_rules, run_lint
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "PARSE_ERROR_CODE",
+    "RULE_SUMMARIES",
+    "Rule",
+    "SEMANTIC_RULE_SUMMARIES",
+    "ScenarioSpec",
+    "Severity",
+    "check_communities",
+    "check_fault_plan",
+    "check_network",
+    "check_plan_files",
+    "check_scenario",
+    "default_rules",
+    "enterprise_spec",
+    "leak_witness",
+    "list_rules",
+    "mesh_spec",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "shipped_scenario_specs",
+    "valley_free_reachable",
+    "vultr_spec",
+]

@@ -1,0 +1,102 @@
+"""Baselines: accept today's findings, block tomorrow's.
+
+A baseline is a committed JSON file recording the fingerprints of known
+(legacy) findings.  CI runs the linter *against* the baseline: findings
+whose fingerprint is already recorded are filtered out, anything new
+fails the job.  This is how a rule family can be introduced into a
+codebase with pre-existing violations without a flag-day cleanup — and
+how the cleanup's progress stays monotonic (``--write-baseline`` shrinks
+the file as findings are fixed; it never grows silently).
+
+Identity is positional-by-fingerprint: if one source line with two
+identical violations loses one, the baseline slot count catches it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints with JSON persistence."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self._accepted: Counter[str] = Counter(fingerprints)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(f.fingerprint() for f in findings)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("baseline must be a JSON object")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        fingerprints = payload.get("fingerprints", [])
+        if not isinstance(fingerprints, list) or not all(
+            isinstance(f, str) for f in fingerprints
+        ):
+            raise ValueError("baseline 'fingerprints' must be a list of strings")
+        return cls(fingerprints)
+
+    @classmethod
+    def from_file(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Stable rendering: sorted fingerprints, one per line (diffable)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "fingerprints": sorted(self._accepted.elements()),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    # -- filtering ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._accepted.values())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._accepted[fingerprint] > 0
+
+    def filter_new(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline (order preserved).
+
+        Each baseline slot absorbs at most one finding, so duplicate
+        violations beyond the recorded count still surface.
+        """
+        budget = Counter(self._accepted)
+        fresh: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if budget[fingerprint] > 0:
+                budget[fingerprint] -= 1
+            else:
+                fresh.append(finding)
+        return fresh

@@ -1,0 +1,87 @@
+"""Findings: what a lint rule reports, and how findings are identified.
+
+A :class:`Finding` is one diagnosed occurrence — rule code, severity,
+location, message — plus a :meth:`fingerprint` that names the occurrence
+*stably* across unrelated edits (used by the baseline machinery, see
+:mod:`repro.lint.baseline`).  Fingerprints deliberately exclude the line
+number: inserting a docstring above a violation must not make it "new".
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (higher = worse)."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnosed rule violation.
+
+    Attributes:
+        path: file the finding is in (as given to the engine), or a
+            pseudo-path like ``scenario:vultr`` for semantic checks.
+        line: 1-based line number (0 for whole-file/semantic findings).
+        column: 1-based column (0 when not applicable).
+        code: rule code, e.g. ``TNG001``.
+        message: human-readable diagnosis.
+        severity: see :class:`Severity`.
+        snippet: the offending source line, stripped (empty when not
+            applicable); feeds the fingerprint.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+    snippet: str = field(default="", compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: path + code + snippet digest.
+
+        Two findings of the same rule on identical source lines in one
+        file share a prefix and are disambiguated positionally by
+        :class:`~repro.lint.baseline.Baseline`, so a moved-but-unchanged
+        violation stays suppressed while a genuinely new one surfaces.
+        """
+        digest = hashlib.sha256(
+            self.snippet.strip().encode("utf-8")
+        ).hexdigest()[:16]
+        return f"{self.path}::{self.code}::{digest}"
+
+    def render(self) -> str:
+        """One-line ``path:line:col: CODE message`` rendering."""
+        location = self.path
+        if self.line:
+            location = f"{location}:{self.line}"
+            if self.column:
+                location = f"{location}:{self.column}"
+        return f"{location}: {self.code} [{self.severity.label}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-reporter payload."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,393 @@
+"""Semantic Gao–Rexford safety checks over a :class:`BgpNetwork`.
+
+The AST rules catch nondeterminism; this module catches *economically
+impossible topologies* — scenario definitions whose peering relationships
+would admit routes the real Internet would never carry.  The simulated
+AS paths are only trustworthy stand-ins for real transit (the whole point
+of ``repro.bgp``) while every session is labeled consistently and every
+edge pair has a valley-free route.  All checks are static: the network is
+*built* (cheap object construction) but never converged or simulated.
+
+Rule codes (the semantic family, ``TNG1xx``):
+
+========  ==============================================================
+TNG101    inconsistent session labeling — one side's relationship is not
+          the inverse of the other's.  This is the transit-leak bug: a
+          router that wrongly believes a peer/provider is its customer
+          exports peer- and provider-learned routes to it, e.g. a peer
+          receiving a provider route (a "valley").  The finding carries a
+          concrete leaked-path witness.
+TNG102    no valley-free path between a pair of edge routers — discovery
+          would find nothing; the scenario cannot establish.
+TNG103    customer/provider cycle — an AS is (transitively) its own
+          provider, the classic dispute-wheel precondition; convergence
+          is no longer guaranteed.
+TNG104    traffic-control community addressed to an unknown provider ASN
+          or targeting an ASN that is not a neighbor of that provider —
+          the action could never be interpreted, so discovery would
+          silently lose paths.
+TNG105    fault-plan event referencing a target that does not exist in
+          the scenario (see :mod:`repro.lint.plans`).
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+from ..bgp.attributes import LargeCommunity
+from ..bgp.communities import (
+    ACTION_NO_EXPORT_ALL,
+    ACTION_NO_EXPORT_TO,
+    ACTION_PREPEND_TO,
+)
+from ..bgp.network import BgpNetwork
+from ..bgp.policy import Relationship, gao_rexford_allows_export
+from .findings import Finding, Severity
+
+__all__ = [
+    "SEMANTIC_RULE_SUMMARIES",
+    "check_network",
+    "check_communities",
+    "leak_witness",
+    "valley_free_reachable",
+]
+
+SEMANTIC_RULE_SUMMARIES: dict[str, str] = {
+    "TNG101": "inconsistent BGP session labeling (transit-leak risk)",
+    "TNG102": "no valley-free path between the tango edges",
+    "TNG103": "customer/provider relationship cycle",
+    "TNG104": "traffic-control community that can never fire",
+    "TNG105": "fault-plan event targeting a nonexistent entity",
+}
+
+
+def _finding(
+    scenario: str, code: str, message: str, severity: Severity = Severity.ERROR
+) -> Finding:
+    return Finding(
+        path=f"scenario:{scenario}",
+        line=0,
+        column=0,
+        code=code,
+        message=message,
+        severity=severity,
+        snippet=message,
+    )
+
+
+# -- TNG101: session labeling consistency (the transit-leak check) ---------------
+
+
+def leak_witness(
+    network: BgpNetwork, exporter: str, receiver: str
+) -> Optional[str]:
+    """A concrete leaked route demonstrating an inconsistent session.
+
+    If ``exporter`` labels ``receiver`` in a way that permits exports the
+    receiver's own labeling says it must never see (e.g. exporter thinks
+    "customer", receiver thinks "peer"), pick a provider/peer neighbor of
+    the exporter and spell out the valley path.  Returns None when the
+    session is consistent.
+    """
+    neighbor_out = network.router(exporter).neighbors.get(receiver)
+    neighbor_in = network.router(receiver).neighbors.get(exporter)
+    if neighbor_out is None or neighbor_in is None:
+        return None
+    if neighbor_out.relationship.inverse() is neighbor_in.relationship:
+        return None
+    # What the exporter would send under its own labeling, that the
+    # receiver's labeling forbids it from ever being offered.
+    for upstream, upstream_neighbor in sorted(
+        network.router(exporter).neighbors.items()
+    ):
+        if upstream == receiver:
+            continue
+        learned = upstream_neighbor.relationship
+        if gao_rexford_allows_export(
+            learned, neighbor_out.relationship
+        ) and not gao_rexford_allows_export(
+            learned, neighbor_in.relationship.inverse()
+        ):
+            return (
+                f"{learned.value}-learned route "
+                f"{upstream} -> {exporter} -> {receiver} would be exported "
+                f"({exporter} labels {receiver} a "
+                f"{neighbor_out.relationship.value}) but {receiver} labels "
+                f"{exporter} a {neighbor_in.relationship.value}, so the "
+                f"route arrives across a "
+                f"{neighbor_in.relationship.value} session: a Gao-Rexford "
+                f"valley"
+            )
+    return (
+        f"{exporter} labels {receiver} a {neighbor_out.relationship.value} "
+        f"but {receiver} labels {exporter} a "
+        f"{neighbor_in.relationship.value} (inconsistent session)"
+    )
+
+
+def _check_session_consistency(
+    network: BgpNetwork, scenario: str
+) -> list[Finding]:
+    # Walk the routers' own neighbor tables, not the network's session
+    # registry: a topology mis-wired with raw ``add_neighbor`` calls (the
+    # very bug class this rule exists for) never registers a session.
+    findings: list[Finding] = []
+    seen: set[tuple[str, str]] = set()
+    for a in sorted(network.routers):
+        for b in sorted(network.router(a).neighbors):
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            if b not in network.routers:
+                findings.append(
+                    _finding(
+                        scenario,
+                        "TNG101",
+                        f"{a} has a session with {b!r}, which is not a "
+                        "router in the topology",
+                    )
+                )
+                continue
+            if a not in network.router(b).neighbors:
+                findings.append(
+                    _finding(
+                        scenario,
+                        "TNG101",
+                        f"half-open session: {a} lists {b} as a neighbor "
+                        f"but {b} has no session with {a}",
+                    )
+                )
+                continue
+            witness = leak_witness(network, a, b) or leak_witness(network, b, a)
+            if witness:
+                findings.append(
+                    _finding(
+                        scenario,
+                        "TNG101",
+                        f"transit leak admitted by session {a}~{b}: {witness}",
+                    )
+                )
+    return findings
+
+
+# -- TNG102: valley-free feasibility ---------------------------------------------
+
+#: Propagation phases of a valley-free walk, in the only legal order:
+#: climb customer->provider links, cross at most one peer link, then
+#: descend provider->customer links.
+_UP, _ACROSS, _DOWN = 0, 1, 2
+
+
+def valley_free_reachable(network: BgpNetwork, origin: str) -> set[str]:
+    """Routers that can hear a route originated at ``origin``.
+
+    BFS over (router, phase) states.  An announcement travels up the
+    origin's provider chain, across at most one peering, and down into
+    customer cones — exactly the export rule
+    :func:`~repro.bgp.policy.gao_rexford_allows_export` applies hop by
+    hop, evaluated on the graph instead of the RIBs.
+    """
+    reached: set[str] = {origin}
+    queue: deque[tuple[str, int]] = deque([(origin, _UP)])
+    seen_states: set[tuple[str, int]] = {(origin, _UP)}
+    while queue:
+        name, phase = queue.popleft()
+        router = network.router(name)
+        for neighbor_name, neighbor in sorted(router.neighbors.items()):
+            relationship = neighbor.relationship
+            if relationship is Relationship.PROVIDER and phase == _UP:
+                next_phase = _UP
+            elif relationship is Relationship.PEER and phase == _UP:
+                next_phase = _DOWN  # one peer crossing, then strictly down
+            elif relationship is Relationship.CUSTOMER:
+                next_phase = _DOWN
+            else:
+                continue
+            reached.add(neighbor_name)
+            state = (neighbor_name, next_phase)
+            if state not in seen_states and neighbor_name in network.routers:
+                seen_states.add(state)
+                queue.append(state)
+    return reached
+
+
+def _check_valley_free_pairs(
+    network: BgpNetwork, edges: Sequence[str], scenario: str
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for origin in edges:
+        reached = valley_free_reachable(network, origin)
+        for other in edges:
+            if other != origin and other not in reached:
+                findings.append(
+                    _finding(
+                        scenario,
+                        "TNG102",
+                        f"no valley-free path carries {origin}'s "
+                        f"announcements to {other}; discovery between "
+                        "this pair can never establish",
+                    )
+                )
+    return findings
+
+
+# -- TNG103: customer/provider cycles --------------------------------------------
+
+
+def _check_provider_cycles(network: BgpNetwork, scenario: str) -> list[Finding]:
+    provider_edges: dict[str, list[str]] = {}
+    for name in sorted(network.routers):
+        router = network.router(name)
+        provider_edges[name] = sorted(
+            neighbor_name
+            for neighbor_name, neighbor in router.neighbors.items()
+            if neighbor.relationship is Relationship.PROVIDER
+        )
+    findings: list[Finding] = []
+    state: dict[str, int] = {}  # 0 in progress, 1 done
+    stack_path: list[str] = []
+
+    def visit(name: str) -> None:
+        state[name] = 0
+        stack_path.append(name)
+        for provider in provider_edges.get(name, ()):
+            if provider not in provider_edges:
+                continue  # session to an unregistered router (TNG101)
+            if state.get(provider) == 0:
+                cycle = stack_path[stack_path.index(provider) :] + [provider]
+                findings.append(
+                    _finding(
+                        scenario,
+                        "TNG103",
+                        "customer/provider cycle "
+                        + " -> ".join(cycle)
+                        + ": an AS is transitively its own provider; "
+                        "convergence is not guaranteed",
+                    )
+                )
+            elif provider not in state:
+                visit(provider)
+        stack_path.pop()
+        state[name] = 1
+
+    for name in sorted(network.routers):
+        if name not in state:
+            visit(name)
+    return findings
+
+
+# -- TNG104: community-to-action maps --------------------------------------------
+
+
+def check_communities(
+    network: BgpNetwork,
+    communities: Iterable[LargeCommunity],
+    scenario: str = "network",
+) -> list[Finding]:
+    """Validate traffic-control communities against the topology.
+
+    Every action community must be addressed to a provider ASN that has
+    at least one router in the network, encode a known action, and (for
+    targeted actions) name an ASN that is actually a neighbor of one of
+    that provider's routers — otherwise the action can never fire and a
+    discovery recipe built on it silently loses paths.
+    """
+    routers_by_asn: dict[int, list[str]] = {}
+    for name in sorted(network.routers):
+        routers_by_asn.setdefault(network.router(name).asn, []).append(name)
+    findings: list[Finding] = []
+    for community in communities:
+        admin = community.global_admin
+        if admin not in routers_by_asn:
+            findings.append(
+                _finding(
+                    scenario,
+                    "TNG104",
+                    f"community {community} is addressed to AS{admin}, "
+                    "which no router in the topology speaks for",
+                )
+            )
+            continue
+        action = community.data1
+        targeted = action == ACTION_NO_EXPORT_TO or (
+            ACTION_PREPEND_TO < action <= ACTION_PREPEND_TO + 3
+        )
+        if not targeted and action != ACTION_NO_EXPORT_ALL:
+            findings.append(
+                _finding(
+                    scenario,
+                    "TNG104",
+                    f"community {community} encodes unknown action code "
+                    f"{action} for AS{admin}",
+                )
+            )
+            continue
+        if targeted:
+            target = community.data2
+            neighbor_asns = {
+                neighbor.asn
+                for name in routers_by_asn[admin]
+                for neighbor in network.router(name).neighbors.values()
+            }
+            if target not in neighbor_asns:
+                findings.append(
+                    _finding(
+                        scenario,
+                        "TNG104",
+                        f"community {community} targets AS{target}, which "
+                        f"is not a neighbor of any AS{admin} router; the "
+                        "action can never fire",
+                    )
+                )
+    return findings
+
+
+def _originated_communities(network: BgpNetwork) -> list[LargeCommunity]:
+    communities: list[LargeCommunity] = []
+    for name in sorted(network.routers):
+        for _prefix, attributes in sorted(
+            network.router(name).originated.items(), key=lambda kv: str(kv[0])
+        ):
+            communities.extend(attributes.large_communities)
+    return communities
+
+
+# -- entry point -----------------------------------------------------------------
+
+
+def check_network(
+    network: BgpNetwork,
+    edges: Optional[Sequence[str]] = None,
+    scenario: str = "network",
+) -> list[Finding]:
+    """Run every static Gao–Rexford safety check.
+
+    Args:
+        network: the built (not necessarily converged) topology.
+        edges: router names whose pairwise valley-free reachability must
+            hold (typically the tango tenant routers).  None skips the
+            feasibility check.
+        scenario: label used in finding paths (``scenario:<name>``).
+
+    Returns:
+        Sorted findings; empty means the topology is policy-safe.
+
+    Note:
+        Custom import/export policies (``BgpRouter.import_policies`` /
+        ``export_policies``) can only *reject* routes, never force an
+        export past the Gao–Rexford gate, so they cannot create leaks
+        and are out of scope here.
+    """
+    findings = _check_session_consistency(network, scenario)
+    findings += _check_provider_cycles(network, scenario)
+    if edges:
+        for edge in edges:
+            network.router(edge)  # raises KeyError with the known names
+        findings += _check_valley_free_pairs(network, edges, scenario)
+    findings += check_communities(
+        network, _originated_communities(network), scenario
+    )
+    return sorted(findings)

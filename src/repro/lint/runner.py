@@ -1,0 +1,129 @@
+"""The ``tango-repro lint`` entry point, kept out of :mod:`repro.cli`.
+
+Composes the three check layers —
+
+1. AST determinism rules over the given files/directories,
+2. semantic Gao–Rexford checks over every shipped scenario,
+3. fault-plan validation for any ``--plan`` files,
+
+— then applies the baseline filter and renders a report.  Exit status:
+0 clean (or all findings baselined), 1 findings, 2 usage/configuration
+errors (unknown rule code, unreadable baseline, missing path).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence, TextIO
+
+from .baseline import Baseline
+from .engine import PARSE_ERROR_CODE, LintEngine
+from .findings import Finding
+from .gao_rexford import SEMANTIC_RULE_SUMMARIES
+from .plans import check_plan_files, check_scenario, shipped_scenario_specs
+from .reporters import render_json, render_text
+from .rules import default_rules
+
+__all__ = ["run_lint", "list_rules", "DEFAULT_BASELINE"]
+
+#: Baseline the CLI picks up automatically when present (committed at the
+#: repo root, next to pyproject).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def list_rules(stdout: Optional[TextIO] = None) -> int:
+    """Print every rule code with its severity and one-line summary."""
+    out = stdout if stdout is not None else sys.stdout
+    print(f"{PARSE_ERROR_CODE}  error    file cannot be parsed", file=out)
+    for rule in default_rules():
+        print(
+            f"{rule.code}  {rule.severity.label:<8} "
+            f"{rule.summary} [{rule.name}]",
+            file=out,
+        )
+    for code, summary in SEMANTIC_RULE_SUMMARIES.items():
+        print(f"{code}  error    {summary}", file=out)
+    return 0
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    select: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    write_baseline: Optional[str] = None,
+    plan_paths: Sequence[str] = (),
+    semantics: bool = True,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> int:
+    """Run the linter; returns the process exit status.
+
+    Args:
+        paths: files/directories for the AST rules (may be empty when
+            only semantic checks are wanted).
+        fmt: ``text`` or ``json``.
+        select: comma-separated rule codes to restrict to (AST rules).
+        baseline_path: baseline file to filter findings against.
+        write_baseline: write the *unfiltered* findings to this baseline
+            file and exit 0 (the accept-current-state workflow).
+        plan_paths: fault-plan JSON files to validate against the Vultr
+            scenario spec.
+        semantics: run the Gao–Rexford checks over shipped scenarios.
+    """
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+
+    selected = (
+        [code for code in select.split(",") if code.strip()] if select else None
+    )
+    try:
+        engine = LintEngine(default_rules(), select=selected)
+    except ValueError as exc:
+        print(f"tango-repro lint: {exc}", file=err)
+        return 2
+
+    findings: list[Finding] = []
+    checked_files = 0
+    try:
+        files = list(engine.iter_python_files(paths))
+    except FileNotFoundError as exc:
+        print(f"tango-repro lint: {exc}", file=err)
+        return 2
+    for file_path in files:
+        findings.extend(engine.check_file(file_path))
+        checked_files += 1
+
+    if semantics and selected is None:
+        for spec in shipped_scenario_specs():
+            findings.extend(check_scenario(spec))
+    if plan_paths:
+        findings.extend(check_plan_files(list(plan_paths)))
+    findings.sort()
+
+    if write_baseline:
+        Baseline.from_findings(findings).to_file(write_baseline)
+        print(
+            f"wrote {write_baseline} with {len(findings)} accepted finding(s)",
+            file=out,
+        )
+        return 0
+
+    if baseline_path:
+        try:
+            baseline = Baseline.from_file(baseline_path)
+        except OSError as exc:
+            print(f"tango-repro lint: cannot read baseline: {exc}", file=err)
+            return 2
+        except ValueError as exc:
+            print(
+                f"tango-repro lint: invalid baseline {baseline_path}: {exc}",
+                file=err,
+            )
+            return 2
+        findings = baseline.filter_new(findings)
+
+    renderer = render_json if fmt == "json" else render_text
+    out.write(renderer(findings, checked_files))
+    return 1 if findings else 0

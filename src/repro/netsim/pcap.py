@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from .links import Link
+from .node import ProgrammableSwitch
 from .packet import Packet, TangoHeader
 
 __all__ = ["TraceEntry", "TraceRecorder"]
@@ -66,13 +68,15 @@ class TraceRecorder:
 
     # -- attachment ------------------------------------------------------------
 
-    def tap(self, switch, direction: str = "ingress") -> None:
+    def tap(
+        self, switch: ProgrammableSwitch, direction: str = "ingress"
+    ) -> None:
         """Attach to a programmable switch (pass-through program)."""
         if direction not in ("ingress", "egress"):
             raise ValueError(f"direction must be ingress/egress, got {direction}")
         where = f"{switch.name}:{direction}"
 
-        def program(sw, packet: Packet) -> Packet:
+        def program(sw: ProgrammableSwitch, packet: Packet) -> Packet:
             self._record(sw.sim.now, where, packet)
             return packet
 
@@ -81,7 +85,7 @@ class TraceRecorder:
         else:
             switch.attach_egress(program)
 
-    def tap_drops(self, link) -> None:
+    def tap_drops(self, link: Link) -> None:
         """Record every packet a link drops, with the reason."""
 
         def hook(packet: Packet, reason: str) -> None:

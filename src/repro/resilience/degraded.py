@@ -24,13 +24,16 @@ controller's ``mode_log`` (and its write-ahead log when journaling).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..netsim.delaymodels import deterministic_normal
 from ..netsim.events import PeriodicTask, Simulator
 from ..telemetry.store import MeasurementStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.deployment import PacketLevelDeployment
 
 __all__ = [
     "ModeTransition",
@@ -143,7 +146,7 @@ class RttFallbackEstimator:
 
     @classmethod
     def for_deployment(
-        cls, deployment, src: str, **kwargs
+        cls, deployment: PacketLevelDeployment, src: str, **kwargs
     ) -> "RttFallbackEstimator":
         """Build an estimator for traffic sent from ``src``.
 

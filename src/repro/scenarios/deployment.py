@@ -20,18 +20,21 @@ per-direction calibration tables, and inherit the rest.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..bgp.network import BgpNetwork
 from ..core.config import PairingConfig
+from ..core.controller import TangoController
 from ..core.gateway import TangoGateway
 from ..core.policy import ApplicationSelector, StaticSelector
 from ..core.session import SessionState, TangoSession
 from ..core.tunnels import TangoTunnel
+from ..dataplane.programs import PathSelector
 from ..netsim.delaymodels import GaussianJitterDelay
-from ..netsim.links import ConstantLoss, WindowedLoss
+from ..netsim.links import ConstantLoss, Link, WindowedLoss
+from ..netsim.packet import Packet
 from ..netsim.topology import Network
 from ..netsim.trace import PacketFactory, ProbeGenerator
 from ..resilience.channel import ChannelConfig
@@ -198,11 +201,11 @@ class PacketLevelDeployment:
     def peer_of(self, edge_name: str) -> str:
         return self.pairing.peer_of(edge_name).name
 
-    def sender_for(self, edge_name: str):
+    def sender_for(self, edge_name: str) -> Callable[[Packet], None]:
         """A send callable injecting packets at ``edge_name``'s host."""
         link = self.net.links[f"host-{edge_name}->gw-{edge_name}"]
 
-        def send(packet) -> None:
+        def send(packet: Packet) -> None:
             packet.created_at = self.sim.now
             link.transmit(self.sim, packet)
 
@@ -219,7 +222,7 @@ class PacketLevelDeployment:
             return self.state.tunnels_a_to_b
         return self.state.tunnels_b_to_a
 
-    def set_data_policy(self, src: str, selector) -> None:
+    def set_data_policy(self, src: str, selector: PathSelector) -> None:
         """Install the forwarding policy for data traffic from ``src``,
         preserving any pinned per-path probe streams."""
         existing = self._probe_selectors.get(src)
@@ -269,13 +272,15 @@ class PacketLevelDeployment:
 
     # -- controllers & supervision ---------------------------------------------------
 
-    def attach_controller(self, edge_name: str, controller) -> None:
+    def attach_controller(
+        self, edge_name: str, controller: TangoController
+    ) -> None:
         """Register ``edge_name``'s controller so faults and supervisors
         can find it (the ``controller_crash`` fault's handle)."""
         self.pairing.edge(edge_name)  # validates the name
         self.controllers[edge_name] = controller
 
-    def controller_for(self, edge_name: str):
+    def controller_for(self, edge_name: str) -> TangoController:
         """The controller attached at ``edge_name`` (LookupError with the
         attached names otherwise)."""
         try:
@@ -323,7 +328,7 @@ class PacketLevelDeployment:
         link = self.wan_link(src, label)
         self.sim.schedule_at(at, lambda: setattr(link, "loss", ConstantLoss(0.0)))
 
-    def wan_link(self, src: str, label: str):
+    def wan_link(self, src: str, label: str) -> Link:
         """The wide-area link carrying ``src``'s path ``label`` (KeyError
         with the available names otherwise) — the fault injector's handle."""
         name = f"{src}->{self.peer_of(src)}:{label}"

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
+from typing import Optional
 
 from ..bgp.network import BgpNetwork
 from ..bgp.router import BgpRouter
@@ -50,6 +51,7 @@ from ..netsim.delaymodels import (
     RouteChangeEvent,
     SpikeProcess,
 )
+from ..resilience.channel import ChannelConfig
 from .deployment import PacketLevelDeployment
 
 __all__ = [
@@ -299,7 +301,7 @@ class VultrDeployment(PacketLevelDeployment):
         report_interval_s: float = 0.100,
         instability_loss: float = 0.0,
         auth_key: bytes = b"",
-        telemetry_channel=None,
+        telemetry_channel: Optional[ChannelConfig] = None,
     ) -> None:
         super().__init__(
             pairing=make_pairing(probe_interval_s, report_interval_s, auth_key),

@@ -5,7 +5,6 @@ Two layers: the :class:`OverrideLoss` wrapper as a pure function of
 one plan with one seed must drop exactly the same packets.
 """
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.faults import FaultEvent, FaultInjector, FaultPlan

@@ -1,0 +1,139 @@
+"""Engine mechanics: selection, parse errors, baselines, reporters."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    PARSE_ERROR_CODE,
+    Baseline,
+    LintEngine,
+    default_rules,
+    render_json,
+    render_text,
+)
+
+
+def lint(source: str, **kwargs) -> list:
+    return LintEngine(default_rules(), **kwargs).check_source(
+        textwrap.dedent(source), path="fixture.py"
+    )
+
+
+WALLCLOCK_AND_RNG = """\
+import time
+import random
+a = time.time()
+b = random.random()
+"""
+
+
+class TestSelection:
+    def test_select_restricts_to_one_code(self):
+        findings = lint(WALLCLOCK_AND_RNG, select=["TNG001"])
+        assert [f.code for f in findings] == ["TNG001"]
+
+    def test_select_is_case_insensitive(self):
+        findings = lint(WALLCLOCK_AND_RNG, select=["tng003"])
+        assert [f.code for f in findings] == ["TNG003"]
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            LintEngine(default_rules(), select=["TNG999"])
+
+    def test_duplicate_rule_code_rejected(self):
+        rules = default_rules()
+        with pytest.raises(ValueError, match="duplicate rule code"):
+            LintEngine(list(rules) + [rules[0]])
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_tng000(self):
+        findings = lint("def broken(:\n")
+        assert len(findings) == 1
+        assert findings[0].code == PARSE_ERROR_CODE
+        assert findings[0].line == 1
+
+
+class TestFileDiscovery:
+    def test_walk_is_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.pyc.py").write_text("junk\n")
+        files = list(LintEngine.iter_python_files([str(tmp_path)]))
+        assert [f.rsplit("/", 1)[-1] for f in files] == ["a.py", "b.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(LintEngine.iter_python_files(["/no/such/dir"]))
+
+
+class TestBaseline:
+    def test_round_trip_through_json(self):
+        findings = lint(WALLCLOCK_AND_RNG)
+        assert len(findings) == 2
+        baseline = Baseline.from_findings(findings)
+        restored = Baseline.from_json(baseline.to_json())
+        assert len(restored) == 2
+        assert restored.filter_new(findings) == []
+
+    def test_round_trip_through_file(self, tmp_path):
+        findings = lint(WALLCLOCK_AND_RNG)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).to_file(str(path))
+        assert Baseline.from_file(str(path)).filter_new(findings) == []
+
+    def test_new_findings_surface(self):
+        old = lint("import time\na = time.time()\n")
+        both = lint("import time\na = time.time()\nb = time.time_ns()\n")
+        fresh = Baseline.from_findings(old).filter_new(both)
+        assert len(fresh) == 1
+        assert fresh[0].line == 3
+
+    def test_each_slot_absorbs_one_finding(self):
+        # Two identical violations, one baselined slot: one must surface.
+        src = "import time\na = time.time()\na = time.time()\n"
+        findings = lint(src)
+        assert len(findings) == 2
+        baseline = Baseline.from_findings(findings[:1])
+        assert len(baseline.filter_new(findings)) == 1
+
+    def test_line_moves_do_not_invalidate(self):
+        # Fingerprints hash the snippet, not the line number.
+        before = lint("import time\na = time.time()\n")
+        after = lint("import time\n\n\na = time.time()\n")
+        assert Baseline.from_findings(before).filter_new(after) == []
+
+    def test_invalid_payloads_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Baseline.from_json("{nope")
+        with pytest.raises(ValueError, match="JSON object"):
+            Baseline.from_json("[]")
+        with pytest.raises(ValueError, match="version"):
+            Baseline.from_json('{"version": 99, "fingerprints": []}')
+        with pytest.raises(ValueError, match="list of strings"):
+            Baseline.from_json('{"version": 1, "fingerprints": [1]}')
+
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self):
+        findings = lint(WALLCLOCK_AND_RNG)
+        text = render_text(findings, checked_files=1)
+        assert "fixture.py:3:5: TNG001" in text
+        assert "fixture.py:4:5: TNG003" in text
+        assert "2 finding(s) in 1 file(s): TNG001 x1, TNG003 x1" in text
+
+    def test_text_report_clean(self):
+        assert render_text([], checked_files=5) == "clean: 0 findings in 5 file(s)\n"
+
+    def test_json_report_is_machine_readable(self):
+        findings = lint(WALLCLOCK_AND_RNG)
+        payload = json.loads(render_json(findings, checked_files=1))
+        assert payload["checked_files"] == 1
+        assert payload["finding_count"] == 2
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["TNG001", "TNG003"]
+        assert payload["findings"][0]["line"] == 3

@@ -1,0 +1,121 @@
+"""End-to-end: ``tango-repro lint`` over the committed tree and fixtures."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src" / "repro")
+
+
+def run(paths, **kwargs):
+    out, err = io.StringIO(), io.StringIO()
+    status = run_lint(paths, stdout=out, stderr=err, **kwargs)
+    return status, out.getvalue(), err.getvalue()
+
+
+class TestCommittedTree:
+    def test_src_repro_lints_clean(self):
+        status, out, err = run([SRC])
+        assert status == 0, out + err
+        assert "clean: 0 findings" in out
+
+    def test_cli_subcommand_exits_zero(self, capsys):
+        assert main(["lint", SRC]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules_covers_every_code(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ["TNG000", *(f"TNG00{i}" for i in range(1, 7)),
+                     *(f"TNG10{i}" for i in range(1, 6))]:
+            assert code in out
+
+    def test_shipped_plans_validate_through_cli(self):
+        plan = str(REPO_ROOT / "examples" / "faults_blackhole.json")
+        status, out, _ = run([SRC], plan_paths=[plan])
+        assert status == 0, out
+
+
+class TestFindingsSurface:
+    def write_bad_file(self, tmp_path) -> Path:
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\nimport random\n"
+            "a = time.time()\n"
+            "b = random.random()\n"
+        )
+        return bad
+
+    def test_violations_fail_with_location(self, tmp_path):
+        bad = self.write_bad_file(tmp_path)
+        status, out, _ = run([str(tmp_path)], semantics=False)
+        assert status == 1
+        assert f"{bad}:3:5: TNG001" in out
+        assert f"{bad}:4:5: TNG003" in out
+
+    def test_json_format(self, tmp_path):
+        self.write_bad_file(tmp_path)
+        status, out, _ = run([str(tmp_path)], fmt="json", semantics=False)
+        assert status == 1
+        payload = json.loads(out)
+        assert payload["finding_count"] == 2
+        assert [f["code"] for f in payload["findings"]] == ["TNG001", "TNG003"]
+
+    def test_select_restricts_rules(self, tmp_path):
+        self.write_bad_file(tmp_path)
+        status, out, _ = run([str(tmp_path)], select="TNG003", semantics=False)
+        assert status == 1
+        assert "TNG001" not in out
+        assert "TNG003" in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_filter_then_regress(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\na = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+
+        status, out, _ = run(
+            [str(bad)], write_baseline=str(baseline), semantics=False
+        )
+        assert status == 0
+        assert "1 accepted finding(s)" in out
+
+        status, _, _ = run(
+            [str(bad)], baseline_path=str(baseline), semantics=False
+        )
+        assert status == 0
+
+        bad.write_text("import time\na = time.time()\nb = time.time_ns()\n")
+        status, out, _ = run(
+            [str(bad)], baseline_path=str(baseline), semantics=False
+        )
+        assert status == 1
+        assert "time_ns" in out or "TNG001" in out
+
+
+class TestUsageErrors:
+    def test_unknown_select_code(self, tmp_path):
+        status, _, err = run([str(tmp_path)], select="TNG999", semantics=False)
+        assert status == 2
+        assert "unknown rule code" in err
+
+    def test_missing_path(self):
+        status, _, err = run(["/no/such/path"], semantics=False)
+        assert status == 2
+        assert "no such file or directory" in err
+
+    def test_unreadable_baseline(self, tmp_path):
+        empty = tmp_path / "ok.py"
+        empty.write_text("x = 1\n")
+        status, _, err = run(
+            [str(empty)],
+            baseline_path=str(tmp_path / "missing.json"),
+            semantics=False,
+        )
+        assert status == 2
+        assert "cannot read baseline" in err

@@ -1,0 +1,148 @@
+"""Fault-plan target validation (TNG105) against scenario specs."""
+
+from pathlib import Path
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.lint import check_fault_plan, check_plan_files, vultr_spec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def plan_of(*events: FaultEvent) -> FaultPlan:
+    return FaultPlan(name="test-plan", seed=1, events=events)
+
+
+class TestCheckFaultPlan:
+    def setup_method(self):
+        self.spec = vultr_spec()
+
+    def test_valid_plan_clean(self):
+        plan = plan_of(
+            FaultEvent(
+                "link_blackhole",
+                at=5.0,
+                duration=5.0,
+                params={"src": "ny", "path": "GTT"},
+            ),
+            FaultEvent(
+                "prefix_withdraw",
+                at=10.0,
+                duration=5.0,
+                params={"edge": "la", "prefix_index": 0},
+            ),
+            FaultEvent(
+                "bgp_session_down",
+                at=20.0,
+                duration=5.0,
+                params={"a": "vultr-ny", "b": "cogent"},
+            ),
+        )
+        assert check_fault_plan(plan, self.spec) == []
+
+    def test_unknown_edge(self):
+        plan = plan_of(
+            FaultEvent(
+                "link_blackhole",
+                at=1.0,
+                duration=1.0,
+                params={"src": "tokyo", "path": "GTT"},
+            )
+        )
+        findings = check_fault_plan(plan, self.spec, path="plan.json")
+        assert [f.code for f in findings] == ["TNG105"]
+        assert "unknown edge 'tokyo'" in findings[0].message
+        assert findings[0].path == "plan.json"
+
+    def test_unknown_path_label(self):
+        plan = plan_of(
+            FaultEvent(
+                "link_blackhole",
+                at=1.0,
+                duration=1.0,
+                params={"src": "ny", "path": "Sprint"},
+            )
+        )
+        findings = check_fault_plan(plan, self.spec)
+        assert len(findings) == 1
+        assert "no wide-area path 'Sprint'" in findings[0].message
+
+    def test_prefix_index_out_of_range(self):
+        plan = plan_of(
+            FaultEvent(
+                "prefix_withdraw",
+                at=1.0,
+                duration=1.0,
+                params={"edge": "ny", "prefix_index": 99},
+            )
+        )
+        findings = check_fault_plan(plan, self.spec)
+        assert len(findings) == 1
+        assert "prefix_index 99 out of range" in findings[0].message
+
+    def test_unknown_router_in_session_down(self):
+        plan = plan_of(
+            FaultEvent(
+                "bgp_session_down",
+                at=1.0,
+                duration=1.0,
+                params={"a": "vultr-ny", "b": "sprint"},
+            )
+        )
+        findings = check_fault_plan(plan, self.spec)
+        assert len(findings) == 1
+        assert "unknown router 'sprint'" in findings[0].message
+
+    def test_no_session_between_known_routers(self):
+        # Both routers exist, but level3 is an LA-side provider only.
+        plan = plan_of(
+            FaultEvent(
+                "bgp_session_down",
+                at=1.0,
+                duration=1.0,
+                params={"a": "vultr-ny", "b": "level3"},
+            )
+        )
+        findings = check_fault_plan(plan, self.spec)
+        assert len(findings) == 1
+        assert "no BGP session" in findings[0].message
+
+    def test_every_finding_names_the_event(self):
+        plan = plan_of(
+            FaultEvent(
+                "telemetry_drop",
+                at=1.0,
+                duration=1.0,
+                params={"edge": "mars"},
+            )
+        )
+        findings = check_fault_plan(plan, self.spec)
+        assert "plan 'test-plan' event #0" in findings[0].message
+
+
+class TestCheckPlanFiles:
+    def test_shipped_example_plans_validate_clean(self):
+        plans = sorted(str(p) for p in (REPO_ROOT / "examples").glob("*.json"))
+        assert plans  # the repo ships at least faults_blackhole.json
+        assert check_plan_files(plans) == []
+
+    def test_unreadable_file_becomes_finding(self):
+        findings = check_plan_files(["/no/such/plan.json"])
+        assert [f.code for f in findings] == ["TNG105"]
+        assert "cannot read fault plan" in findings[0].message
+
+    def test_malformed_json_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        findings = check_plan_files([str(bad)])
+        assert [f.code for f in findings] == ["TNG105"]
+        assert "invalid fault plan" in findings[0].message
+
+    def test_bad_target_in_file_reports_file_path(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"name": "x", "seed": 1, "events": [{"kind": "link_blackhole",'
+            ' "at": 1.0, "duration": 1.0, "src": "ny", "path": "Sprint"}]}'
+        )
+        findings = check_plan_files([str(plan)])
+        assert len(findings) == 1
+        assert findings[0].path == str(plan)

@@ -5,7 +5,7 @@ import ipaddress
 import pytest
 
 from repro.netsim.events import Simulator
-from repro.netsim.node import Fib, HostNode, ProgrammableSwitch, RouterNode
+from repro.netsim.node import Fib, HostNode
 from repro.netsim.packet import Ipv6Header, Packet, UdpHeader
 from repro.netsim.topology import Network
 
