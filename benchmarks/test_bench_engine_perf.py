@@ -1,0 +1,78 @@
+"""E15 — incremental propagation engine vs the full-scan baseline.
+
+The perf-regression gate for the incremental work-queue engine and the
+convergence snapshot cache (see README "Performance"): runs the standard
+workloads from :mod:`repro.profiling.bench` under both configurations,
+prints the speedup table, writes ``BENCH_PERF.json``, and FAILS if
+incremental full-path discovery over the Vultr topology is not at least
+3x faster than the full-scan baseline.
+
+Environment:
+
+* ``BENCH_SMOKE=1`` — CI mode: fewest repetitions, same workloads and
+  the same 3x gate.
+* ``BENCH_PERF_OUT`` — where to write the JSON report (default:
+  ``BENCH_PERF.json`` in the current directory).
+"""
+
+import json
+import os
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.profiling.bench import (
+    DISCOVERY_MIN_SPEEDUP,
+    run_discovery_workload,
+    run_perf_suite,
+)
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
+OUT_PATH = os.environ.get("BENCH_PERF_OUT", "BENCH_PERF.json")
+
+
+def test_engine_perf_suite(benchmark):
+    # The benchmark fixture times the cheap, high-signal workload (one
+    # incremental discovery pass); the full before/after suite runs once
+    # around it and produces the report.
+    benchmark(run_discovery_workload, repeat=1, runs=1)
+
+    report = run_perf_suite(repeat=2 if SMOKE else 3, smoke=SMOKE)
+
+    rows = []
+    for name, wl in sorted(report.workloads.items()):
+        rows.append(
+            {
+                "workload": name,
+                "full_scan_s": f"{wl.baseline_s:.4f}",
+                "incremental_s": f"{wl.incremental_s:.4f}",
+                "speedup": f"{wl.speedup:.2f}x",
+            }
+        )
+    emit(format_table(rows, title="E15 — engine before/after wall-clock"))
+    replay = report.workloads.get("fault_replay_mttr")
+    if replay is not None and "converge_speedup" in replay.detail:
+        emit(
+            "fault replay control-plane share: "
+            f"{replay.detail['baseline_converge_s']:.4f}s -> "
+            f"{replay.detail['incremental_converge_s']:.4f}s "
+            f"({replay.detail['converge_speedup']:.1f}x)"
+        )
+
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    emit(f"wrote {OUT_PATH}")
+
+    payload = json.loads(report.to_json())
+    assert payload["schema"] == "tango-repro/bench-perf/v1"
+
+    # The gate: discovery must be at least 3x faster incrementally.
+    discovery = report.workloads["discovery"]
+    assert discovery.speedup >= DISCOVERY_MIN_SPEEDUP, (
+        f"incremental discovery is only {discovery.speedup:.2f}x faster "
+        f"than full-scan (gate: {DISCOVERY_MIN_SPEEDUP:.1f}x)"
+    )
+    # Sanity on the other workloads: incremental never loses.
+    assert report.workloads["reset_session"].speedup >= 1.0
+    if replay is not None:
+        assert replay.detail["converge_speedup"] >= 1.0

@@ -22,8 +22,21 @@ from .communities import (
     prepend_to,
 )
 from .messages import Announcement, Prefix, Withdrawal, as_prefix
-from .network import CONVERGENCE_DELAY_S, BgpNetwork, ConvergenceError
+from .network import (
+    CONVERGENCE_DELAY_S,
+    ENGINE_INCREMENTAL,
+    ENGINE_ROUNDS,
+    BgpNetwork,
+    ConvergenceError,
+)
 from .poisoning import poison_targets, poisoned_attributes
+from .snapshot import (
+    NetworkSnapshot,
+    SnapshotCache,
+    capture_snapshot,
+    network_fingerprint,
+    restore_snapshot,
+)
 from .timing import SessionTimers, TimedFailover
 from .policy import (
     Relationship,
@@ -43,26 +56,33 @@ __all__ = [
     "CONVERGENCE_DELAY_S",
     "Community",
     "ConvergenceError",
+    "ENGINE_INCREMENTAL",
+    "ENGINE_ROUNDS",
     "ExportAction",
     "LargeCommunity",
     "LocRib",
     "Neighbor",
+    "NetworkSnapshot",
     "Origin",
     "Prefix",
     "Relationship",
     "RibEntry",
     "SessionTimers",
+    "SnapshotCache",
     "RouteAttributes",
     "TimedFailover",
     "TrafficControlInterpreter",
     "Withdrawal",
     "as_prefix",
+    "capture_snapshot",
     "default_local_pref",
     "gao_rexford_allows_export",
     "is_private_asn",
+    "network_fingerprint",
     "no_export_all",
     "no_export_to",
     "poison_targets",
     "poisoned_attributes",
     "prepend_to",
+    "restore_snapshot",
 ]

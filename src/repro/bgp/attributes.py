@@ -50,6 +50,19 @@ class AsPath:
     """
 
     asns: tuple[int, ...] = ()
+    #: Hash and length are on the decision-process hot path (every
+    #: candidate comparison reads both), so they are precomputed once at
+    #: construction.  The cached hash equals the frozen-dataclass hash of
+    #: the ``asns`` field, keeping hash/equality semantics unchanged.
+    _hash: int = field(init=False, repr=False, compare=False)
+    _length: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.asns,)))
+        object.__setattr__(self, "_length", len(self.asns))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def of(cls, *asns: int) -> "AsPath":
@@ -86,7 +99,7 @@ class AsPath:
     @property
     def length(self) -> int:
         """AS_PATH length as the decision process counts it (with repeats)."""
-        return len(self.asns)
+        return self._length
 
     @property
     def first_hop(self) -> Optional[int]:
@@ -102,7 +115,7 @@ class AsPath:
         return iter(self.asns)
 
     def __len__(self) -> int:
-        return len(self.asns)
+        return self._length
 
     def __str__(self) -> str:
         return " ".join(str(a) for a in self.asns) if self.asns else "<empty>"

@@ -13,18 +13,46 @@ Wall-clock convergence latency is modeled separately: callers that care
 (e.g. the route-change experiment) charge ``CONVERGENCE_DELAY_S`` per
 convergence when translating control-plane activity onto the data-plane
 timeline.
+
+Two interchangeable propagation engines compute the fixpoint:
+
+* ``"rounds"`` — the original full-scan engine: every round re-diffs
+  every directed session.  O(sessions × prefixes) per round regardless
+  of how small the change was.
+* ``"incremental"`` (default) — a dirty-set work queue: routers buffer
+  the prefixes whose exports may have changed; each wave drains only
+  those buffers and delivers per-prefix deltas, so a single flapped
+  session ripples outward instead of re-evaluating the whole topology.
+
+Both engines reach the same unique fixpoint (Gao–Rexford policies plus
+deterministic tie-breaks), verified bit-exactly by the engine-equivalence
+test suite; ``use_engine`` switches at any converged point.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from .attributes import AsPath
 from .messages import Prefix, Withdrawal, as_prefix
 from .policy import Relationship
 from .router import BgpRouter
 
-__all__ = ["ConvergenceError", "BgpNetwork", "CONVERGENCE_DELAY_S"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling.core import Profiler
+
+__all__ = [
+    "ConvergenceError",
+    "BgpNetwork",
+    "CONVERGENCE_DELAY_S",
+    "ENGINE_INCREMENTAL",
+    "ENGINE_ROUNDS",
+]
+
+#: Engine names accepted by :class:`BgpNetwork` and :meth:`use_engine`.
+ENGINE_INCREMENTAL = "incremental"
+ENGINE_ROUNDS = "rounds"
+_ENGINES = (ENGINE_INCREMENTAL, ENGINE_ROUNDS)
 
 #: Nominal wall-clock cost of one BGP convergence wave, for experiments
 #: that put control-plane reactions on the data-plane timeline.  The paper
@@ -39,7 +67,7 @@ class ConvergenceError(RuntimeError):
 class BgpNetwork:
     """A set of BGP routers plus their sessions, with a propagation engine."""
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = ENGINE_INCREMENTAL) -> None:
         self.routers: dict[str, BgpRouter] = {}
         #: Directed session list (a, b): a may send updates to b.
         self._sessions: list[tuple[str, str]] = []
@@ -48,8 +76,40 @@ class BgpNetwork:
         self._session_meta: dict[
             tuple[str, str], tuple[Relationship, Optional[int], Optional[int]]
         ] = {}
+        self._engine = self._validate_engine(engine)
+        #: Directed sessions created since the last convergence; the
+        #: incremental engine gives each a one-off full-table sync.
+        self._pending_full_sync: list[tuple[str, str]] = []
         self.total_rounds = 0
         self.convergence_count = 0
+        #: Profiling counters (cheap ints, always on).
+        self.updates_delivered = 0
+        self.withdrawals_delivered = 0
+        self.routers_scanned = 0
+        self.snapshot_restores = 0
+        #: Optional attached profiler; when set, convergences are timed.
+        self.profiler: Optional["Profiler"] = None
+
+    @staticmethod
+    def _validate_engine(engine: str) -> str:
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
+        return engine
+
+    @property
+    def engine(self) -> str:
+        """The active propagation engine name."""
+        return self._engine
+
+    def use_engine(self, engine: str) -> None:
+        """Switch propagation engines.
+
+        Safe at any converged point: both engines leave no pending work
+        behind when :meth:`converge` returns.
+        """
+        self._engine = self._validate_engine(engine)
 
     # -- construction -----------------------------------------------------------
 
@@ -99,6 +159,8 @@ class BgpNetwork:
             a_preference,
             b_preference,
         )
+        self._pending_full_sync.append((a, b))
+        self._pending_full_sync.append((b, a))
 
     def add_provider(
         self,
@@ -138,6 +200,9 @@ class BgpNetwork:
         ]
         self._session_meta.pop((a, b), None)
         self._session_meta.pop((b, a), None)
+        self._pending_full_sync = [
+            s for s in self._pending_full_sync if s not in ((a, b), (b, a))
+        ]
 
     def session_config(
         self, a: str, b: str
@@ -164,6 +229,12 @@ class BgpNetwork:
         routes learned over the session are withdrawn network-wide, then
         re-announced once it comes back.  Returns the convergence round
         counts of the (down, up) waves.
+
+        Under the incremental engine both waves run off the dirty set
+        seeded by the torn-down/re-established session, so the counts
+        reflect how far each ripple actually travelled rather than the
+        legacy full-scan round count; resulting routes are identical
+        either way (see tests/bgp/test_engine_equivalence.py).
         """
         config = self.session_config(a, b)
         self.disconnect(config[0], config[1])
@@ -178,7 +249,9 @@ class BgpNetwork:
         """Propagate updates until no router's state changes.
 
         Returns:
-            The number of rounds taken.
+            The number of rounds (waves) taken, counting the final wave
+            that verifies the fixpoint — so an already-converged network
+            reports 1 under either engine.
 
         Raises:
             ConvergenceError: if ``max_rounds`` is exceeded, which under
@@ -186,19 +259,130 @@ class BgpNetwork:
                 genuine BGP wedgie.
         """
         self.convergence_count += 1
+        if self.profiler is not None:
+            with self.profiler.time(f"bgp.converge.{self._engine}"):
+                waves = self._run_engine(max_rounds)
+        else:
+            waves = self._run_engine(max_rounds)
+        self.total_rounds += waves
+        return waves
+
+    def _run_engine(self, max_rounds: int) -> int:
+        if self._engine == ENGINE_ROUNDS:
+            return self._converge_rounds(max_rounds)
+        return self._converge_incremental(max_rounds)
+
+    def _converge_rounds(self, max_rounds: int) -> int:
+        """The original full-scan engine: re-diff every session per round."""
         for round_number in range(1, max_rounds + 1):
             changed = self._propagate_round()
-            self.total_rounds += 1
             if not changed:
+                self._discard_pending_work()
                 return round_number
         raise ConvergenceError(
             f"no fixpoint after {max_rounds} rounds; "
             "check relationships/policies for dispute wheels"
         )
 
+    def _converge_incremental(self, max_rounds: int) -> int:
+        """Dirty-set work queue: waves ripple outward from changed state.
+
+        Each wave drains every router's pending-export buffer and
+        delivers per-prefix deltas only for those (sender, prefix) pairs;
+        receivers whose RIBs change queue their own exports for the next
+        wave.  Newly created sessions get a one-off full-table sync.
+        """
+        waves = 0
+        full_sync = self._take_full_sync()
+        dirty = self._collect_dirty()
+        while full_sync or dirty:
+            waves += 1
+            if waves > max_rounds:
+                raise ConvergenceError(
+                    f"no fixpoint after {max_rounds} waves; "
+                    "check relationships/policies for dispute wheels"
+                )
+            for sender_name, receiver_name in full_sync:
+                self._full_sync_session(sender_name, receiver_name)
+            for sender_name in sorted(dirty):
+                self._send_prefix_updates(sender_name, dirty[sender_name])
+            self.routers_scanned += len(dirty) + len(full_sync)
+            full_sync = []
+            dirty = self._collect_dirty()
+        # +1 for the implicit final wave that verifies the fixpoint,
+        # keeping wave totals aligned with the rounds engine's convention
+        # (an already-converged network reports one round).
+        return waves + 1
+
+    def _take_full_sync(self) -> list[tuple[str, str]]:
+        """Directed sessions awaiting their initial full-table exchange."""
+        pairs = list(dict.fromkeys(self._pending_full_sync))
+        self._pending_full_sync.clear()
+        return pairs
+
+    def _collect_dirty(self) -> dict[str, tuple[Prefix, ...]]:
+        """Drain every router's pending-export buffer (insertion order of
+        ``routers`` is deterministic; prefix tuples arrive pre-sorted)."""
+        dirty: dict[str, tuple[Prefix, ...]] = {}
+        for name, router in self.routers.items():
+            changed = router.drain_export_changes()
+            if changed:
+                dirty[name] = changed
+        return dirty
+
+    def _discard_pending_work(self) -> None:
+        """A full-scan fixpoint subsumes the incremental work queue:
+        nothing is left to ripple, so queued markers are stale."""
+        for router in self.routers.values():
+            router.clear_pending_exports()
+        self._pending_full_sync.clear()
+
+    def _full_sync_session(self, sender_name: str, receiver_name: str) -> None:
+        """Initial full-table exchange over one new directed session."""
+        sender = self.routers[sender_name]
+        if receiver_name not in sender.neighbors:
+            return  # torn down again before the sync could run
+        receiver = self.routers[receiver_name]
+        exports = sender.exports_for(receiver_name)
+        previously_sent = sender.adj_rib_out.prefixes_to(receiver_name)
+        for prefix, announcement in exports.items():
+            if sender.adj_rib_out.last_sent(receiver_name, prefix) == announcement:
+                continue
+            sender.adj_rib_out.record(receiver_name, announcement)
+            self.updates_delivered += 1
+            receiver.receive_announcement(sender_name, announcement)
+        # Sorted so withdrawal delivery order never depends on set
+        # iteration order (TNG005; the replay-determinism invariant).
+        for prefix in sorted(previously_sent - set(exports), key=str):
+            sender.adj_rib_out.forget(receiver_name, prefix)
+            self.withdrawals_delivered += 1
+            receiver.receive_withdrawal(sender_name, Withdrawal(prefix))
+
+    def _send_prefix_updates(
+        self, sender_name: str, prefixes: tuple[Prefix, ...]
+    ) -> None:
+        """Deliver one router's changed prefixes to all its neighbors."""
+        sender = self.routers[sender_name]
+        for receiver_name in sender.neighbors:
+            receiver = self.routers[receiver_name]
+            for prefix in prefixes:
+                announcement = sender.export_for(receiver_name, prefix)
+                last = sender.adj_rib_out.last_sent(receiver_name, prefix)
+                if announcement is not None:
+                    if announcement == last:
+                        continue
+                    sender.adj_rib_out.record(receiver_name, announcement)
+                    self.updates_delivered += 1
+                    receiver.receive_announcement(sender_name, announcement)
+                elif last is not None:
+                    sender.adj_rib_out.forget(receiver_name, prefix)
+                    self.withdrawals_delivered += 1
+                    receiver.receive_withdrawal(sender_name, Withdrawal(prefix))
+
     def _propagate_round(self) -> bool:
         """One synchronous delivery wave.  Returns True if anything changed."""
         changed = False
+        self.routers_scanned += len(self.routers)
         for sender_name, receiver_name in self._sessions:
             sender = self.routers[sender_name]
             receiver = self.routers[receiver_name]
@@ -208,12 +392,14 @@ class BgpNetwork:
                 if sender.adj_rib_out.last_sent(receiver_name, prefix) == announcement:
                     continue
                 sender.adj_rib_out.record(receiver_name, announcement)
+                self.updates_delivered += 1
                 if receiver.receive_announcement(sender_name, announcement):
                     changed = True
             # Sorted so withdrawal delivery order never depends on set
             # iteration order (TNG005; the replay-determinism invariant).
             for prefix in sorted(previously_sent - set(exports), key=str):
                 sender.adj_rib_out.forget(receiver_name, prefix)
+                self.withdrawals_delivered += 1
                 if receiver.receive_withdrawal(sender_name, Withdrawal(prefix)):
                     changed = True
         return changed

@@ -64,6 +64,15 @@ class AdjRibIn:
     def prefixes_from(self, neighbor: str) -> set[Prefix]:
         return {p for (n, p) in self._routes if n == neighbor}
 
+    def snapshot(self) -> dict[tuple[str, Prefix], RibEntry]:
+        """Copy of the table.  Entries are frozen, so a shallow dict copy
+        is a full copy-on-write fork of this RIB's state."""
+        return dict(self._routes)
+
+    def restore(self, state: dict[tuple[str, Prefix], RibEntry]) -> None:
+        """Replace the table with a previously captured snapshot."""
+        self._routes = dict(state)
+
     def __len__(self) -> int:
         return len(self._routes)
 
@@ -93,6 +102,14 @@ class LocRib:
     def routes(self) -> dict[Prefix, RibEntry]:
         return dict(self._best)
 
+    def snapshot(self) -> dict[Prefix, RibEntry]:
+        """Copy-on-write fork of the best-route table (entries frozen)."""
+        return dict(self._best)
+
+    def restore(self, state: dict[Prefix, RibEntry]) -> None:
+        """Replace the table with a previously captured snapshot."""
+        self._best = dict(state)
+
     def __len__(self) -> int:
         return len(self._best)
 
@@ -119,3 +136,11 @@ class AdjRibOut:
         """Session teardown: forget everything advertised to ``neighbor``."""
         for key in [k for k in self._sent if k[0] == neighbor]:
             del self._sent[key]
+
+    def snapshot(self) -> dict[tuple[str, Prefix], Announcement]:
+        """Copy-on-write fork of the advertised table (entries frozen)."""
+        return dict(self._sent)
+
+    def restore(self, state: dict[tuple[str, Prefix], Announcement]) -> None:
+        """Replace the table with a previously captured snapshot."""
+        self._sent = dict(state)

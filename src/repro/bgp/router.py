@@ -76,6 +76,17 @@ class BgpRouter:
         self.interpreter = TrafficControlInterpreter(asn)
         self.import_policies: list[ImportPolicy] = []
         self.export_policies: list[ExportPolicy] = []
+        #: Prefixes whose exports may have changed since the network last
+        #: drained this router — the incremental engine's work queue.
+        self._pending_export: set[Prefix] = set()
+        #: Adj-RIB-In generation per prefix, bumped on every accepted
+        #: change; :meth:`run_decision` skips prefixes whose decision
+        #: already reflects the current generation.
+        self._rib_epoch: dict[Prefix, int] = {}
+        self._decided_epoch: dict[Prefix, int] = {}
+        #: Profiling counters (cheap ints, always on).
+        self.decisions_run = 0
+        self.decisions_memoized = 0
 
     # -- session management ---------------------------------------------------
 
@@ -101,7 +112,10 @@ class BgpRouter:
     def remove_neighbor(self, name: str) -> None:
         """Tear down a session and flush its routes."""
         self.neighbors.pop(name, None)
+        flushed = self.adj_rib_in.prefixes_from(name)
         self.adj_rib_in.remove_neighbor(name)
+        for prefix in flushed:
+            self._bump_epoch(prefix)
         self.run_decision()
 
     # -- origination ------------------------------------------------------------
@@ -117,11 +131,19 @@ class BgpRouter:
         ASN is prepended at export time, so a normal origination passes an
         empty path.
         """
-        self.originated[as_prefix(prefix)] = attributes or RouteAttributes()
+        normalized = as_prefix(prefix)
+        attrs = attributes or RouteAttributes()
+        if self.originated.get(normalized) != attrs:
+            self.originated[normalized] = attrs
+            self._pending_export.add(normalized)
 
     def withdraw_origination(self, prefix: Union[str, Prefix]) -> bool:
         """Stop originating ``prefix``.  True if it was being originated."""
-        return self.originated.pop(as_prefix(prefix), None) is not None
+        normalized = as_prefix(prefix)
+        if self.originated.pop(normalized, None) is None:
+            return False
+        self._pending_export.add(normalized)
+        return True
 
     # -- import side ------------------------------------------------------------
 
@@ -149,6 +171,7 @@ class BgpRouter:
         )
         changed = self.adj_rib_in.upsert(entry)
         if changed:
+            self._bump_epoch(announcement.prefix)
             changed = self._decide(announcement.prefix) or changed
         return changed
 
@@ -156,6 +179,7 @@ class BgpRouter:
         """Drop a rejected update's predecessor and re-decide."""
         changed = self.adj_rib_in.remove(from_name, prefix)
         if changed:
+            self._bump_epoch(prefix)
             self._decide(prefix)
         return changed
 
@@ -164,27 +188,46 @@ class BgpRouter:
         self._require_neighbor(from_name)
         changed = self.adj_rib_in.remove(from_name, withdrawal.prefix)
         if changed:
+            self._bump_epoch(withdrawal.prefix)
             self._decide(withdrawal.prefix)
         return changed
 
     # -- decision process ---------------------------------------------------------
 
     def run_decision(self) -> bool:
-        """Re-run best-path selection for every known prefix."""
+        """Re-run best-path selection for every known prefix.
+
+        Prefixes whose Adj-RIB-In is unchanged since their last decision
+        (same epoch) are skipped: re-ranking an unchanged candidate set
+        cannot alter the outcome, because the decision is a pure function
+        of the candidates and the (stable) neighbor preferences.
+        """
         changed = False
         prefixes = self.adj_rib_in.prefixes() | set(self.loc_rib.routes())
         # Sorted so decision order never depends on set iteration order
         # (TNG005; the replay-determinism invariant).
         for prefix in sorted(prefixes, key=str):
+            if self._decided_epoch.get(prefix) == self._rib_epoch.get(prefix, 0):
+                self.decisions_memoized += 1
+                continue
             changed = self._decide(prefix) or changed
         return changed
 
+    def _bump_epoch(self, prefix: Prefix) -> None:
+        self._rib_epoch[prefix] = self._rib_epoch.get(prefix, 0) + 1
+
     def _decide(self, prefix: Prefix) -> bool:
+        self.decisions_run += 1
+        self._decided_epoch[prefix] = self._rib_epoch.get(prefix, 0)
         candidates = self.adj_rib_in.candidates(prefix)
         if not candidates:
-            return self.loc_rib.set_best(prefix, None)
-        best = min(candidates, key=self._decision_key)
-        return self.loc_rib.set_best(prefix, best)
+            changed = self.loc_rib.set_best(prefix, None)
+        else:
+            best = min(candidates, key=self._decision_key)
+            changed = self.loc_rib.set_best(prefix, best)
+        if changed:
+            self._pending_export.add(prefix)
+        return changed
 
     def _decision_key(self, entry: RibEntry) -> tuple:
         """BGP decision process, expressed as a sort key (lower wins).
@@ -246,6 +289,50 @@ class BgpRouter:
             if announcement is not None:
                 exports[prefix] = announcement
         return exports
+
+    def export_for(
+        self, neighbor_name: str, prefix: Prefix
+    ) -> Optional[Announcement]:
+        """Export processing for a single (neighbor, prefix) pair.
+
+        The same pipeline as :meth:`exports_for` restricted to one prefix
+        — the incremental engine's unit of work.  Returns ``None`` when
+        nothing is exportable (which the engine turns into a withdrawal if
+        something was previously advertised).
+        """
+        neighbor = self._require_neighbor(neighbor_name)
+        originated = self.originated.get(prefix)
+        if originated is not None:
+            # our origination supersedes any learned route
+            return self._build_export(prefix, originated, neighbor)
+        best = self.loc_rib.best(prefix)
+        if best is None:
+            return None
+        if best.neighbor == neighbor_name:
+            return None  # split horizon
+        if not gao_rexford_allows_export(
+            best.relationship, neighbor.relationship
+        ):
+            return None
+        return self._build_export(prefix, best.attributes, neighbor)
+
+    def drain_export_changes(self) -> tuple[Prefix, ...]:
+        """Take (and clear) the prefixes whose exports may have changed.
+
+        Sorted by prefix string so the engine's delivery order never
+        depends on set iteration order (TNG005; the replay-determinism
+        invariant).
+        """
+        if not self._pending_export:
+            return ()
+        changed = tuple(sorted(self._pending_export, key=str))
+        self._pending_export.clear()
+        return changed
+
+    def clear_pending_exports(self) -> None:
+        """Discard queued export work (snapshot restore / full-scan
+        convergence both leave nothing to ripple)."""
+        self._pending_export.clear()
 
     def _build_export(
         self, prefix: Prefix, attrs: RouteAttributes, neighbor: Neighbor

@@ -1,6 +1,6 @@
 """Command-line interface: ``tango-repro <command>``.
 
-Seven subcommands, each a self-contained run of one slice of the system:
+Eight subcommands, each a self-contained run of one slice of the system:
 
 * ``discover`` — run Figure 3's iterative suppression discovery and print
   the path/community table per direction.
@@ -15,6 +15,10 @@ Seven subcommands, each a self-contained run of one slice of the system:
   quarantine-enabled controller, and prints the recovery log (identical
   bytes for identical plan + seed); ``faults sample-plan`` prints a
   template plan.
+* ``profile`` — run the standard perf workloads (discovery, session
+  resets, fault replay) under the full-scan baseline and the incremental
+  engine + snapshot cache, print the speedup table, and write
+  ``BENCH_PERF.json``.
 * ``lint`` — static determinism & policy-safety analysis: AST rules
   (``TNG001``–``TNG006``) over source files, Gao–Rexford semantic checks
   over every shipped scenario, and fault-plan target validation.
@@ -128,6 +132,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_sub.add_parser(
         "sample-plan", help="print a template fault plan as JSON"
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the standard perf workloads and write BENCH_PERF.json",
+        description=(
+            "Measure the incremental propagation engine and convergence "
+            "snapshot cache against the full-scan baseline on the Vultr "
+            "scenario: path discovery, session resets, and a BGP-heavy "
+            "fault replay.  Prints a table and writes the full report as "
+            "JSON."
+        ),
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=3,
+        help="best-of repetitions per measurement (default: 3)",
+    )
+    profile.add_argument(
+        "--out", default="BENCH_PERF.json",
+        help="report output path (default: BENCH_PERF.json); '-' to skip",
+    )
+    profile.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: fewest repetitions, same workloads",
+    )
+    profile.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the (slow) fault-replay workload",
     )
 
     lint = sub.add_parser(
@@ -471,6 +503,48 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .profiling.bench import DISCOVERY_MIN_SPEEDUP, run_perf_suite
+    from .profiling.core import Profiler
+
+    profiler = Profiler()
+    report = run_perf_suite(
+        repeat=args.repeat,
+        smoke=args.smoke,
+        include_replay=not args.no_replay,
+        profiler=profiler,
+    )
+    header = f"{'workload':<18} {'baseline':>10} {'incremental':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, wl in sorted(report.workloads.items()):
+        print(
+            f"{name:<18} {wl.baseline_s:>9.4f}s {wl.incremental_s:>11.4f}s "
+            f"{wl.speedup:>8.2f}x"
+        )
+    replay = report.workloads.get("fault_replay_mttr")
+    if replay is not None and "converge_speedup" in replay.detail:
+        print(
+            f"{'':<18} control-plane share of replay: "
+            f"{replay.detail['baseline_converge_s']:.4f}s -> "
+            f"{replay.detail['incremental_converge_s']:.4f}s "
+            f"({replay.detail['converge_speedup']:.1f}x)"
+        )
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.out}")
+    discovery = report.workloads["discovery"]
+    if discovery.speedup < DISCOVERY_MIN_SPEEDUP:
+        print(
+            f"tango-repro: discovery speedup {discovery.speedup:.2f}x is "
+            f"below the {DISCOVERY_MIN_SPEEDUP:.1f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     import os
 
@@ -504,6 +578,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_mesh(args)
     if args.command == "figures":
         return cmd_figures(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "lint":
         return cmd_lint(args)
     if args.command == "faults":

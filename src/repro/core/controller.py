@@ -60,6 +60,7 @@ from .gateway import TangoGateway
 from .policy import GuardedSelector, MeasuredSelector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling.core import Profiler
     from ..resilience.journal import ControllerJournal
 
 __all__ = [
@@ -188,6 +189,9 @@ class TangoController:
         self.choice_trace = TimeSeries()
         self._task: Optional[PeriodicTask] = None
         self.ticks = 0
+        #: Optional attached profiler; when set, control-loop ticks are
+        #: counted per controller under ``controller.<name>.ticks``.
+        self.profiler: Optional["Profiler"] = None
         #: Fired once per tunnel when it *becomes* stale (edge-triggered):
         #: the hook a deployment uses to alarm or re-run discovery.
         self.on_stale = on_stale
@@ -290,6 +294,8 @@ class TangoController:
 
     def _tick(self) -> None:
         self.ticks += 1
+        if self.profiler is not None:
+            self.profiler.count(f"controller.{self.gateway.config.name}.ticks")
         now = self.sim.now
         self.gateway.loss_monitor.sample(now)
         choice = getattr(self.gateway.selector, "last_choice", None)

@@ -28,6 +28,8 @@ from ..bgp.communities import no_export_to
 from ..bgp.messages import Prefix, as_prefix
 from ..bgp.poisoning import poisoned_attributes
 from ..bgp.network import BgpNetwork
+from ..bgp.snapshot import SnapshotCache
+from ..profiling.core import Profiler
 
 __all__ = ["DiscoveredPath", "DiscoveryResult", "PathDiscovery", "AS_NAMES"]
 
@@ -124,6 +126,11 @@ class PathDiscovery:
             (Vultr's 20473 in the paper).
         ignore_asns: ASNs stripped from observed paths to produce the
             transit view; the provider ASN is always stripped.
+        snapshots: optional convergence snapshot cache.  Discovery keeps
+            revisiting configurations (every run ends by withdrawing the
+            probe and re-converging to the base state; repeated runs over
+            the same base replay the same suppression ladder), so a cache
+            turns those convergences into O(state) restores.
     """
 
     def __init__(
@@ -131,10 +138,20 @@ class PathDiscovery:
         network: BgpNetwork,
         provider_asn: int,
         ignore_asns: tuple[int, ...] = (),
+        snapshots: Optional[SnapshotCache] = None,
     ) -> None:
         self.network = network
         self.provider_asn = provider_asn
         self.ignore_asns = tuple(ignore_asns)
+        self.snapshots = snapshots
+        #: Optional attached profiler; when set, discoveries are timed.
+        self.profiler: Optional["Profiler"] = None
+
+    def _converge(self) -> int:
+        """One convergence, through the snapshot cache when present."""
+        if self.snapshots is not None:
+            return self.snapshots.converge(self.network)
+        return self.network.converge()
 
     def discover(
         self,
@@ -174,6 +191,25 @@ class PathDiscovery:
             A :class:`DiscoveryResult`; ``paths`` is empty if the prefix
             never became reachable.
         """
+        if self.profiler is not None:
+            with self.profiler.time("discovery.discover"):
+                return self._discover(
+                    announcer, observer, probe_prefix,
+                    max_paths, keep_announced, method,
+                )
+        return self._discover(
+            announcer, observer, probe_prefix, max_paths, keep_announced, method
+        )
+
+    def _discover(
+        self,
+        announcer: str,
+        observer: str,
+        probe_prefix: Union[str, Prefix],
+        max_paths: int,
+        keep_announced: bool,
+        method: str,
+    ) -> DiscoveryResult:
         if method not in ("communities", "poisoning"):
             raise ValueError(
                 f"method must be 'communities' or 'poisoning', got {method!r}"
@@ -187,7 +223,7 @@ class PathDiscovery:
         waves = 0
 
         announcer_router.originate(prefix)
-        waves += self.network.converge()
+        waves += self._converge()
         for index in range(max_paths):
             best = observer_router.best_path(prefix)
             if best is None:
@@ -222,10 +258,10 @@ class PathDiscovery:
                 announcer_router.originate(
                     prefix, poisoned_attributes(poisoned)
                 )
-            waves += self.network.converge()
+            waves += self._converge()
         if not keep_announced:
             announcer_router.withdraw_origination(prefix)
-            waves += self.network.converge()
+            waves += self._converge()
         return DiscoveryResult(
             source=observer,
             destination=announcer,

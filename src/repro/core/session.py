@@ -28,6 +28,7 @@ import numpy as np
 
 from ..bgp.attributes import RouteAttributes
 from ..bgp.network import BgpNetwork
+from ..bgp.snapshot import SnapshotCache
 from ..netsim.events import Simulator
 from ..telemetry.store import MeasurementStore
 from .config import EdgeConfig, PairingConfig
@@ -144,6 +145,10 @@ class TangoSession:
         self.gateway_b = gateway_b
         self.sim = sim
         self.state: Optional[SessionState] = None
+        #: Convergence snapshot cache shared by both directions'
+        #: discoveries — each one's closing withdraw-and-reconverge
+        #: restores the converged base state instead of re-propagating.
+        self.snapshots = SnapshotCache()
         self._mirror_tasks = []
         #: edge name -> (mirror feeding that edge's outbound store, its task).
         self._mirrors_by_edge: dict[str, tuple[TelemetryMirror, object]] = {}
@@ -159,27 +164,33 @@ class TangoSession:
         # Step 0: host prefixes are plain announcements.
         self.bgp.router(a.tenant_router).originate(a.host_prefix)
         self.bgp.router(b.tenant_router).originate(b.host_prefix)
-        self.bgp.converge()
+        self.snapshots.converge(self.bgp)
 
         # Discovery per direction.  The destination edge announces; the
         # source edge observes (paths carry source -> destination traffic).
-        discovery_ab = PathDiscovery(self.bgp, b.provider_asn).discover(
+        discovery_ab = PathDiscovery(
+            self.bgp, b.provider_asn, snapshots=self.snapshots
+        ).discover(
             announcer=b.tenant_router,
             observer=a.tenant_router,
             probe_prefix=b.route_prefixes[0],
             max_paths=max_paths,
         )
-        discovery_ba = PathDiscovery(self.bgp, a.provider_asn).discover(
+        discovery_ba = PathDiscovery(
+            self.bgp, a.provider_asn, snapshots=self.snapshots
+        ).discover(
             announcer=a.tenant_router,
             observer=b.tenant_router,
             probe_prefix=a.route_prefixes[0],
             max_paths=max_paths,
         )
 
-        # Pin each path to a route prefix by announcing with its communities.
+        # Pin each path to a route prefix by announcing with its
+        # communities.  Through the cache: the pinned state is the base
+        # every later fault replay and rediscovery returns to.
         self._pin_route_prefixes(b, discovery_ab)
         self._pin_route_prefixes(a, discovery_ba)
-        self.bgp.converge()
+        self.snapshots.converge(self.bgp)
 
         tunnels_ab = build_tunnels(
             discovery_ab.paths,

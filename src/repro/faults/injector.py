@@ -23,9 +23,10 @@ delay process.)
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..bgp.messages import as_prefix
+from ..bgp.snapshot import SnapshotCache
 from ..netsim.delaymodels import AsymmetryEvent, overlay
 from ..netsim.links import ConstantLoss, Link, LossModel, OverrideLoss
 from .plan import FaultEvent, FaultPlan
@@ -54,7 +55,12 @@ class FaultInjector:
     a plan cannot silently lose its past.
     """
 
-    def __init__(self, deployment: "PacketLevelDeployment", plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        deployment: "PacketLevelDeployment",
+        plan: FaultPlan,
+        use_snapshots: bool = True,
+    ) -> None:
         if deployment.state is None:
             raise RuntimeError("deployment must be established before arming faults")
         self.deployment = deployment
@@ -62,6 +68,25 @@ class FaultInjector:
         self.armed: list[str] = []
         self._bgp_saved_loss: dict[str, LossModel] = {}
         self._armed = False
+        # BGP faults alternate between a handful of configurations (the
+        # base state and each fault's degraded state), so recovery
+        # convergences are snapshot restores after the first occurrence.
+        # Shared with the session when one exists: establishment has
+        # already cached the pinned base state.  ``use_snapshots=False``
+        # forces plain convergence (the perf baseline).
+        self.snapshots: Optional[SnapshotCache] = None
+        if use_snapshots:
+            session = getattr(deployment, "session", None)
+            self.snapshots = (
+                session.snapshots if session is not None else SnapshotCache()
+            )
+
+    def _converge_bgp(self) -> None:
+        """One control-plane convergence, through the snapshot cache."""
+        if self.snapshots is not None:
+            self.snapshots.converge(self.deployment.bgp)
+        else:
+            self.deployment.bgp.converge()
 
     def arm(self) -> int:
         """Arm every event of the plan.  Returns the number armed."""
@@ -130,12 +155,12 @@ class FaultInjector:
         def go_down() -> None:
             saved["config"] = bgp.session_config(a, b)
             bgp.disconnect(a, b)
-            bgp.converge()
+            self._converge_bgp()
             self._sync_bgp_blackholes()
 
         def come_up() -> None:
             bgp.connect(*saved["config"])
-            bgp.converge()
+            self._converge_bgp()
             self._sync_bgp_blackholes()
 
         sim.schedule_at(event.at, go_down)
@@ -158,12 +183,12 @@ class FaultInjector:
         def withdraw() -> None:
             saved["attributes"] = router.originated.get(as_prefix(prefix))
             router.withdraw_origination(prefix)
-            deployment.bgp.converge()
+            self._converge_bgp()
             self._sync_bgp_blackholes()
 
         def reannounce() -> None:
             router.originate(prefix, saved.get("attributes"))
-            deployment.bgp.converge()
+            self._converge_bgp()
             self._sync_bgp_blackholes()
 
         sim.schedule_at(event.at, withdraw)

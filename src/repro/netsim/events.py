@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .simclock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling.core import Profiler
 
 __all__ = ["Event", "Simulator", "PeriodicTask"]
 
@@ -25,17 +28,28 @@ class Event:
     probe generators are torn down.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event dead; it will be skipped by the loop."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -57,11 +71,21 @@ class Simulator:
         [1.5]
     """
 
+    #: Queues shorter than this are never compacted: the rebuild would
+    #: cost more than lazily skipping a handful of tombstones.
+    _COMPACT_MIN_SIZE = 8
+
     def __init__(self, start: float = 0.0) -> None:
         self.clock = SimClock(start)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
+        #: Profiling counters (cheap ints, always on).
+        self.compactions = 0
+        self.tombstones_reaped = 0
+        #: Optional attached profiler; when set, :meth:`run` calls are timed.
+        self.profiler: Optional["Profiler"] = None
 
     @property
     def now(self) -> float:
@@ -78,6 +102,35 @@ class Simulator:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
 
+    @property
+    def live_pending(self) -> int:
+        """Number of queued events that have not been cancelled."""
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; compact once tombstones dominate.
+
+        Without this, a repeatedly paused-and-resumed :class:`PeriodicTask`
+        leaks one cancelled event per cycle until its firing time drains
+        from the heap — unbounded for long intervals.
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= self._COMPACT_MIN_SIZE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones.  Pop order is unaffected:
+        heap order is the total order (time, seq), independent of the
+        internal array layout."""
+        self.tombstones_reaped += self._cancelled_pending
+        self.compactions += 1
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run at absolute simulation time ``time``.
 
@@ -88,7 +141,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time} < {self.clock.now}"
             )
-        event = Event(time, next(self._seq), callback)
+        event = Event(time, next(self._seq), callback, sim=self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -106,6 +159,13 @@ class Simulator:
                 clock is left at ``until``.  ``None`` runs to exhaustion.
             max_events: safety valve against runaway schedules.
         """
+        if self.profiler is not None:
+            with self.profiler.time("sim.run"):
+                self._run(until, max_events)
+        else:
+            self._run(until, max_events)
+
+    def _run(self, until: Optional[float], max_events: Optional[int]) -> None:
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
@@ -113,10 +173,14 @@ class Simulator:
             event = self._queue[0]
             if event.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_pending -= 1
                 continue
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._queue)
+            # Detach so a cancel() from inside the callback (a task
+            # pausing itself) is not counted as a queued tombstone.
+            event._sim = None
             self.clock.advance_to(event.time)
             event.callback()
             self._events_processed += 1
@@ -133,7 +197,9 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            event._sim = None
             self.clock.advance_to(event.time)
             event.callback()
             self._events_processed += 1

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..bgp.network import BgpNetwork
 from ..bgp.router import BgpRouter
+from ..bgp.snapshot import SnapshotCache
 from ..core.discovery import DiscoveryResult, PathDiscovery
 from ..core.mesh import TangoMesh
 from ..netsim.delaymodels import ConstantDelay, GaussianJitterDelay
@@ -121,13 +122,19 @@ def build_mesh_scenario(
     for edge in edge_names:
         mesh.add_member(edge)
     discoveries: dict[tuple[str, str], DiscoveryResult] = {}
+    # One cache across all ordered pairs: the base state recurs after
+    # every probe withdrawal, and the early suppression states of one
+    # announcer recur across its observers.
+    snapshots = SnapshotCache(capacity=32)
     for j, announcer in enumerate(edge_names):
         provider_asn = _PROVIDER_BASE_ASN + j
         probe = f"2001:db8:{0xF000 + j:x}::/48"
         for i, observer in enumerate(edge_names):
             if observer == announcer:
                 continue
-            result = PathDiscovery(bgp, provider_asn).discover(
+            result = PathDiscovery(
+                bgp, provider_asn, snapshots=snapshots
+            ).discover(
                 announcer=announcer,
                 observer=observer,
                 probe_prefix=probe,

@@ -126,3 +126,37 @@ class TestRouteAttributes:
 
     def test_origin_preference_ordering(self):
         assert Origin.IGP < Origin.EGP < Origin.INCOMPLETE
+
+
+class TestAsPathHashCaching:
+    """AsPath caches its hash and length at construction (hot in RIB
+    dict lookups); the cache must be indistinguishable from computing
+    fresh."""
+
+    @given(st.lists(asns, max_size=12))
+    def test_cached_hash_matches_tuple_semantics(self, asn_list):
+        path = AsPath(tuple(asn_list))
+        clone = AsPath(tuple(asn_list))
+        assert hash(path) == hash(clone)
+        assert path == clone
+        # Dict/set membership round-trips through the cached hash.
+        assert path in {clone}
+
+    @given(st.lists(asns, max_size=12))
+    def test_cached_length_matches_asns(self, asn_list):
+        path = AsPath(tuple(asn_list))
+        assert len(path) == len(asn_list)
+        assert path.length == len(asn_list)
+
+    @given(st.lists(asns, min_size=1, max_size=10), asns)
+    def test_derived_paths_recompute_their_cache(self, asn_list, new_asn):
+        path = AsPath(tuple(asn_list))
+        prepended = path.prepend(new_asn)
+        assert prepended.length == path.length + 1
+        assert hash(prepended) == hash(AsPath((new_asn, *asn_list)))
+        stripped = prepended.without(new_asn)
+        assert hash(stripped) == hash(AsPath(tuple(a for a in asn_list if a != new_asn)))
+
+    def test_unequal_paths_compare_unequal(self):
+        assert AsPath.of(2914, 20473) != AsPath.of(20473, 2914)
+        assert hash(AsPath.of()) == hash(AsPath(()))

@@ -1,0 +1,156 @@
+"""Engine-equivalence suite: incremental vs round-based propagation.
+
+The incremental work-queue engine is an optimization, not a semantics
+change: under Gao–Rexford policies with deterministic tie-breaks the
+network has a unique fixpoint, so both engines must land on bit-exact
+identical state for any sequence of operations.  This suite drives every
+shipped scenario (Vultr, enterprise, mesh) through representative
+workloads under each engine and compares:
+
+* full RIB contents (adj-rib-in, loc-rib, adj-rib-out, originations),
+* discovery results (the ``paths`` tuples — wave counts legitimately
+  differ between engines),
+* fault-replay recovery logs (byte-identical ``RecoveryLog.format()``).
+"""
+
+import pytest
+
+from repro.bgp.network import ENGINE_INCREMENTAL, ENGINE_ROUNDS, BgpNetwork
+from repro.core.discovery import PathDiscovery
+from repro.scenarios.enterprise import (
+    BUSINESS_ISP_ASN,
+    build_enterprise_bgp,
+)
+from repro.scenarios.topologies import build_mesh_scenario
+from repro.scenarios.vultr import VULTR_ASN, build_bgp_network
+
+ENGINES = (ENGINE_ROUNDS, ENGINE_INCREMENTAL)
+
+
+def rib_dump(net: BgpNetwork) -> dict:
+    """Canonical, comparable image of every routing table in the network."""
+    dump = {}
+    for name in sorted(net.routers):
+        router = net.routers[name]
+        dump[name] = {
+            "adj_rib_in": router.adj_rib_in.snapshot(),
+            "loc_rib": router.loc_rib.snapshot(),
+            "adj_rib_out": router.adj_rib_out.snapshot(),
+            "originated": dict(router.originated),
+        }
+    return dump
+
+
+def run_vultr_workload(engine: str) -> tuple[dict, list]:
+    """Originations, discovery both ways, a session bounce, a withdrawal."""
+    net = build_bgp_network()
+    net.use_engine(engine)
+    paths = []
+    net.router("tango-la").originate("2001:db8:a0::/48")
+    net.router("tango-ny").originate("2001:db8:b0::/48")
+    net.converge()
+    discovery = PathDiscovery(net, VULTR_ASN)
+    for announcer, observer in (("tango-ny", "tango-la"), ("tango-la", "tango-ny")):
+        result = discovery.discover(
+            announcer=announcer,
+            observer=observer,
+            probe_prefix="2001:db8:fff::/48",
+        )
+        paths.append(result.paths)
+    net.reset_session("vultr-ny", "ntt")
+    net.router("tango-la").withdraw_origination("2001:db8:a0::/48")
+    net.converge()
+    return rib_dump(net), paths
+
+
+def run_enterprise_workload(engine: str) -> tuple[dict, list]:
+    net = build_enterprise_bgp()
+    net.use_engine(engine)
+    net.router("tango-factory").originate("2001:db8:e100::/48")
+    net.router("tango-hq").originate("2001:db8:e200::/48")
+    net.converge()
+    discovery = PathDiscovery(net, BUSINESS_ISP_ASN)
+    result = discovery.discover(
+        announcer="tango-hq",
+        observer="tango-factory",
+        probe_prefix="2001:db8:efff::/48",
+    )
+    net.reset_session("business-isp", "ntt")
+    return rib_dump(net), [result.paths]
+
+
+def run_mesh_workload(engine: str) -> tuple[dict, list]:
+    """The mesh builder runs all-pairs discovery internally; rerun one
+    extra pair per engine on top of the (deterministic) built state."""
+    scenario = build_mesh_scenario(3, seed=7)
+    net = scenario.bgp
+    net.use_engine(engine)
+    discovery = PathDiscovery(net, 64901)
+    result = discovery.discover(
+        announcer="edge1",
+        observer="edge0",
+        probe_prefix="2001:db8:feed::/48",
+    )
+    return rib_dump(net), [result.paths]
+
+
+WORKLOADS = {
+    "vultr": run_vultr_workload,
+    "enterprise": run_enterprise_workload,
+    "mesh": run_mesh_workload,
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(WORKLOADS))
+def test_engines_agree_on_all_ribs_and_paths(scenario):
+    workload = WORKLOADS[scenario]
+    rounds_ribs, rounds_paths = workload(ENGINE_ROUNDS)
+    incr_ribs, incr_paths = workload(ENGINE_INCREMENTAL)
+    assert rounds_paths == incr_paths
+    assert rounds_ribs == incr_ribs
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_reaches_same_fixpoint_as_fresh_converge(engine):
+    """Idempotence: converging a converged network changes nothing and
+    reports exactly one (verification) wave under either engine."""
+    net = build_bgp_network()
+    net.use_engine(engine)
+    net.router("tango-la").originate("2001:db8:a0::/48")
+    net.converge()
+    before = rib_dump(net)
+    assert net.converge() == 1
+    assert rib_dump(net) == before
+
+
+def test_engines_agree_after_interleaved_switch():
+    """Switching engines mid-stream must not corrupt state: pending work
+    is either flushed or carried, never dropped."""
+    reference = build_bgp_network()
+    reference.use_engine(ENGINE_ROUNDS)
+    mixed = build_bgp_network()
+    mixed.use_engine(ENGINE_INCREMENTAL)
+    for net in (reference, mixed):
+        net.router("tango-la").originate("2001:db8:a0::/48")
+        net.converge()
+    mixed.use_engine(ENGINE_ROUNDS)
+    for net in (reference, mixed):
+        net.router("tango-ny").originate("2001:db8:b0::/48")
+        net.converge()
+        net.reset_session("vultr-la", "telia")
+    mixed.use_engine(ENGINE_INCREMENTAL)
+    for net in (reference, mixed):
+        net.router("tango-la").withdraw_origination("2001:db8:a0::/48")
+        net.converge()
+    assert rib_dump(reference) == rib_dump(mixed)
+
+
+def test_fault_replay_recovery_logs_identical():
+    """The bench replay cross-checks byte-identical recovery logs between
+    the full-scan baseline and the incremental+snapshot configuration
+    (run_fault_replay_workload raises otherwise)."""
+    from repro.profiling.bench import run_fault_replay_workload
+
+    result = run_fault_replay_workload(repeat=1)
+    assert result.baseline_s > 0.0
+    assert result.incremental_s > 0.0

@@ -1,0 +1,168 @@
+"""Tests for the convergence snapshot cache."""
+
+import pytest
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.router import BgpRouter
+from repro.bgp.snapshot import (
+    SnapshotCache,
+    capture_snapshot,
+    network_fingerprint,
+    restore_snapshot,
+)
+
+P = "2001:db8:1::/48"
+Q = "2001:db8:2::/48"
+
+
+def diamond() -> BgpNetwork:
+    net = BgpNetwork()
+    net.add_router(BgpRouter("origin", 65001))
+    net.add_router(BgpRouter("left", 65002))
+    net.add_router(BgpRouter("right", 65003))
+    net.add_router(BgpRouter("sink", 65004))
+    net.add_provider("origin", "left")
+    net.add_provider("origin", "right")
+    net.add_provider("sink", "left")
+    net.add_provider("sink", "right")
+    return net
+
+
+class TestFingerprint:
+    def test_deterministic_across_identical_builds(self):
+        assert network_fingerprint(diamond()) == network_fingerprint(diamond())
+
+    def test_changes_with_origination(self):
+        net = diamond()
+        before = network_fingerprint(net)
+        net.router("origin").originate(P)
+        assert network_fingerprint(net) != before
+
+    def test_changes_with_session_set(self):
+        net = diamond()
+        before = network_fingerprint(net)
+        net.disconnect("origin", "left")
+        assert network_fingerprint(net) != before
+
+    def test_insensitive_to_construction_order(self):
+        a = diamond()
+        b = BgpNetwork()
+        b.add_router(BgpRouter("sink", 65004))
+        b.add_router(BgpRouter("right", 65003))
+        b.add_router(BgpRouter("left", 65002))
+        b.add_router(BgpRouter("origin", 65001))
+        b.add_provider("sink", "right")
+        b.add_provider("sink", "left")
+        b.add_provider("origin", "right")
+        b.add_provider("origin", "left")
+        assert network_fingerprint(a) == network_fingerprint(b)
+
+    def test_custom_policies_are_uncacheable(self):
+        net = diamond()
+        net.router("left").import_policies.append(lambda name, prefix, attrs: True)
+        assert network_fingerprint(net) is None
+
+
+class TestCaptureRestore:
+    def test_restore_round_trips_all_tables(self):
+        net = diamond()
+        net.router("origin").originate(P)
+        net.converge()
+        snap = capture_snapshot(net)
+        expected = {
+            name: net.routers[name].loc_rib.snapshot() for name in net.routers
+        }
+        net.router("origin").withdraw_origination(P)
+        net.router("sink").originate(Q)
+        net.converge()
+        restore_snapshot(net, snap)
+        for name in sorted(net.routers):
+            assert net.routers[name].loc_rib.snapshot() == expected[name], name
+        # The restored state is a true fixpoint: nothing left to do.
+        assert net.converge() == 1
+
+    def test_restore_rejects_mismatched_router_set(self):
+        net = diamond()
+        net.converge()
+        snap = capture_snapshot(net)
+        other = BgpNetwork()
+        other.add_router(BgpRouter("origin", 65001))
+        with pytest.raises(ValueError):
+            restore_snapshot(other, snap)
+
+    def test_restored_state_is_isolated_from_later_mutation(self):
+        """Copy-on-write: converging after a restore must not corrupt
+        the cached snapshot."""
+        net = diamond()
+        net.router("origin").originate(P)
+        net.converge()
+        snap = capture_snapshot(net)
+        restore_snapshot(net, snap)
+        net.router("origin").withdraw_origination(P)
+        net.converge()
+        restore_snapshot(net, snap)
+        assert net.best_path("sink", P) is not None
+
+
+class TestSnapshotCache:
+    def test_second_converge_of_same_state_is_a_hit(self):
+        cache = SnapshotCache()
+        net = diamond()
+        net.router("origin").originate(P)
+        cache.converge(net)
+        assert (cache.hits, cache.misses) == (0, 1)
+        # Perturb and come back to the same configuration.
+        net.router("origin").withdraw_origination(P)
+        cache.converge(net)
+        net.router("origin").originate(P)
+        waves = cache.converge(net)
+        assert waves == 0
+        assert cache.hits == 1
+        assert net.best_path("sink", P) is not None
+
+    def test_uncacheable_networks_bypass(self):
+        cache = SnapshotCache()
+        net = diamond()
+        net.router("left").import_policies.append(lambda name, prefix, attrs: True)
+        net.router("origin").originate(P)
+        waves = cache.converge(net)
+        assert waves >= 1
+        assert cache.bypasses == 1
+        assert len(cache) == 0
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = SnapshotCache(capacity=2)
+        net = diamond()
+        prefixes = (P, Q, "2001:db8:3::/48")
+        for prefix in prefixes:
+            net.router("origin").originate(prefix)
+            cache.converge(net)
+            net.router("origin").withdraw_origination(prefix)
+            cache.converge(net)
+        assert len(cache) == 2
+
+    def test_hit_restores_bitexact_fixpoint(self):
+        cache = SnapshotCache()
+        reference = diamond()
+        reference.router("origin").originate(P)
+        reference.converge()
+        net = diamond()
+        net.router("origin").originate(P)
+        cache.converge(net)
+        net.router("origin").withdraw_origination(P)
+        cache.converge(net)
+        net.router("origin").originate(P)
+        cache.converge(net)  # hit: restore
+        for name in sorted(net.routers):
+            assert (
+                net.routers[name].loc_rib.snapshot()
+                == reference.routers[name].loc_rib.snapshot()
+            ), name
+
+    def test_clear_drops_entries_and_stats_survive(self):
+        cache = SnapshotCache()
+        net = diamond()
+        cache.converge(net)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1

@@ -205,3 +205,72 @@ class TestPeriodicPauseResume:
         task.pause()
         task.resume()
         assert not task.paused
+
+
+class TestHeapCompaction:
+    def test_pending_stays_bounded_under_pause_resume_churn(self):
+        """A repeatedly paused-and-resumed task must not leak one
+        tombstone per cycle: compaction keeps pending within a constant
+        factor of the live event count."""
+        sim = Simulator()
+        task = sim.call_every(1000.0, lambda: None, start=1000.0)
+        for _ in range(500):
+            task.pause()
+            task.resume()
+        assert sim.live_pending == 1
+        # Live events never exceed a handful here, so the 2x tombstone
+        # bound caps the queue at a small constant, not ~500.
+        assert sim.pending <= max(2 * sim.live_pending, Simulator._COMPACT_MIN_SIZE)
+        assert sim.compactions > 0
+        assert sim.tombstones_reaped >= 490
+
+    def test_compaction_preserves_pop_order(self):
+        sim = Simulator()
+        fired = []
+        keep = [
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+            for t in (5.0, 1.0, 9.0, 3.0, 7.0)
+        ]
+        doomed = [sim.schedule_at(t + 0.5, lambda: fired.append(-1.0)) for t in range(20)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert keep[0].time == 5.0  # handles stay valid after compaction
+
+    def test_small_queues_are_never_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(t), lambda: None) for t in range(1, 5)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending == 4  # below _COMPACT_MIN_SIZE: lazy skip is fine
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_is_idempotent_in_counters(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(t), lambda: None) for t in range(1, 21)]
+        events[0].cancel()
+        events[0].cancel()
+        events[0].cancel()
+        # One logical cancellation: no phantom tombstones counted.
+        assert sim.pending - sim.live_pending == 1
+
+    def test_self_cancel_from_callback_does_not_corrupt_count(self):
+        """A task pausing itself mid-fire cancels an event that was
+        already popped; the tombstone count must ignore it."""
+        sim = Simulator()
+        task_box = []
+
+        def fire():
+            task_box[0].pause()
+
+        task_box.append(sim.call_every(1.0, fire))
+        sim.run(until=3.0)
+        assert sim.live_pending == 0
+        assert sim.pending - sim.live_pending >= 0
+        # Queue drains clean afterwards.
+        sim.run()
+        assert sim.pending == 0

@@ -1,0 +1,155 @@
+"""Tests for the profiling subsystem (timers, counters, report shape)."""
+
+import json
+
+from repro.bgp.network import BgpNetwork
+from repro.bgp.router import BgpRouter
+from repro.netsim.events import Simulator
+from repro.profiling.core import Profiler, TimerStat
+
+
+def fake_clock(ticks):
+    """Deterministic clock: pops the next reading from a list."""
+    readings = iter(ticks)
+    return lambda: next(readings)
+
+
+class TestTimerStat:
+    def test_accumulates_calls_total_and_max(self):
+        stat = TimerStat()
+        stat.add(0.5)
+        stat.add(1.5)
+        stat.add(0.25)
+        assert stat.calls == 3
+        assert stat.total_s == 2.25
+        assert stat.max_s == 1.5
+
+    def test_as_dict_is_json_ready(self):
+        stat = TimerStat()
+        stat.add(0.125)
+        assert json.dumps(stat.as_dict())
+
+
+class TestProfiler:
+    def test_time_context_uses_injected_clock(self):
+        prof = Profiler(clock=fake_clock([10.0, 12.5]))
+        with prof.time("work"):
+            pass
+        assert prof.timers["work"].calls == 1
+        assert prof.timers["work"].total_s == 2.5
+
+    def test_nested_and_repeated_timers_accumulate(self):
+        prof = Profiler(clock=fake_clock([0.0, 1.0, 5.0, 7.0]))
+        with prof.time("step"):
+            pass
+        with prof.time("step"):
+            pass
+        assert prof.timers["step"].calls == 2
+        assert prof.timers["step"].total_s == 3.0
+        assert prof.timers["step"].max_s == 2.0
+
+    def test_counters(self):
+        prof = Profiler()
+        prof.count("ticks")
+        prof.count("ticks", 4)
+        prof.set_counter("queue.depth", 17)
+        assert prof.counters["ticks"] == 5
+        assert prof.counters["queue.depth"] == 17
+
+    def test_capture_network_records_engine_counters(self):
+        prof = Profiler()
+        net = BgpNetwork()
+        net.add_router(BgpRouter("a", 65001))
+        net.add_router(BgpRouter("b", 65002))
+        net.add_provider("a", "b")
+        net.router("a").originate("2001:db8:1::/48")
+        net.converge()
+        prof.capture_network(net, prefix="bgp")
+        assert prof.counters["bgp.convergences"] == 1
+        assert prof.counters["bgp.updates_delivered"] >= 1
+        assert prof.counters["bgp.decisions_run"] >= 1
+
+    def test_capture_simulator_records_event_counters(self):
+        prof = Profiler()
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        prof.capture_simulator(sim, prefix="sim")
+        assert prof.counters["sim.events_processed"] == 1
+
+    def test_as_dict_and_json_round_trip(self):
+        prof = Profiler(clock=fake_clock([0.0, 1.0]))
+        with prof.time("t"):
+            pass
+        prof.count("c", 3)
+        payload = json.loads(prof.to_json())
+        assert payload["counters"]["c"] == 3
+        assert payload["timers"]["t"]["calls"] == 1
+
+    def test_format_table_mentions_every_metric(self):
+        prof = Profiler(clock=fake_clock([0.0, 0.5]))
+        with prof.time("alpha"):
+            pass
+        prof.count("beta", 2)
+        table = prof.format_table()
+        assert "alpha" in table
+        assert "beta" in table
+
+
+class TestNetworkProfilerHook:
+    def test_converge_is_timed_when_profiler_attached(self):
+        prof = Profiler()
+        net = BgpNetwork()
+        net.add_router(BgpRouter("a", 65001))
+        net.add_router(BgpRouter("b", 65002))
+        net.add_provider("a", "b")
+        net.profiler = prof
+        net.router("a").originate("2001:db8:1::/48")
+        net.converge()
+        assert prof.timers["bgp.converge.incremental"].calls == 1
+
+    def test_simulator_run_is_timed_when_profiler_attached(self):
+        prof = Profiler()
+        sim = Simulator()
+        sim.profiler = prof
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert prof.timers["sim.run"].calls == 1
+
+
+class TestBenchReportShape:
+    def test_workload_speedup_math(self):
+        from repro.profiling.bench import WorkloadResult
+
+        wl = WorkloadResult(name="x", baseline_s=3.0, incremental_s=1.0)
+        assert wl.speedup == 3.0
+        degenerate = WorkloadResult(name="y", baseline_s=1.0, incremental_s=0.0)
+        assert degenerate.speedup == float("inf")
+
+    def test_report_schema_fields(self):
+        from repro.profiling.bench import (
+            DISCOVERY_MIN_SPEEDUP,
+            PerfReport,
+            WorkloadResult,
+        )
+
+        report = PerfReport(
+            scenario="vultr",
+            smoke=True,
+            workloads={
+                "discovery": WorkloadResult(
+                    name="discovery", baseline_s=0.4, incremental_s=0.1
+                )
+            },
+            profile={"counters": {}, "timers": {}},
+        )
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == "tango-repro/bench-perf/v1"
+        assert payload["thresholds"]["discovery_min_speedup"] == DISCOVERY_MIN_SPEEDUP
+        assert payload["workloads"]["discovery"]["speedup"] == 4.0
+
+    def test_bench_fault_plan_targets_exist_in_vultr(self):
+        from repro.lint.plans import check_fault_plan, vultr_spec
+        from repro.profiling.bench import bench_fault_plan
+
+        assert check_fault_plan(bench_fault_plan(), vultr_spec()) == []
