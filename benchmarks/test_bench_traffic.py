@@ -1,0 +1,100 @@
+"""E16 — fluid traffic engine: scale gate and packet-equivalence gate.
+
+The traffic bench gate (see README "Workloads & traffic engine"): runs
+the standard traffic workloads from :mod:`repro.traffic.bench`, prints
+the results, writes ``BENCH_TRAFFIC.json``, and FAILS if
+
+* the fluid engine does not sustain >=1,000,000 concurrent modeled
+  flows on the Vultr scenario in under 10 s wall-clock, or
+* the fluid model's mean delay deviates from the packet simulator by
+  more than 10% (or loss by more than 2 pp) at any point of the
+  equivalence sweep.
+
+Environment:
+
+* ``BENCH_SMOKE=1`` — CI mode: shorter simulated window and packet
+  comparison run, same gates.
+* ``BENCH_TRAFFIC_OUT`` — where to write the JSON report (default:
+  ``BENCH_TRAFFIC.json`` in the current directory).
+"""
+
+import json
+import os
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.traffic.bench import (
+    EQUIV_DELAY_TOL,
+    EQUIV_LOSS_TOL_PP,
+    SCALE_MAX_WALL_S,
+    SCALE_TARGET_FLOWS,
+    run_equivalence_workload,
+    run_traffic_suite,
+)
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
+OUT_PATH = os.environ.get("BENCH_TRAFFIC_OUT", "BENCH_TRAFFIC.json")
+
+
+def test_traffic_suite(benchmark):
+    # The benchmark fixture times the cheap, high-signal workload (a
+    # small equivalence sweep); the full gated suite runs once around it
+    # and produces the report.
+    benchmark(run_equivalence_workload, packets=2_000)
+
+    report = run_traffic_suite(smoke=SMOKE)
+
+    scale = report.workloads["scale"]
+    emit(
+        "E16 scale: "
+        f"{scale.detail['peak_concurrent_flows']:,.0f} peak flows, "
+        f"{scale.detail['sim_s']:.0f}s simulated in "
+        f"{scale.detail['wall_s']:.2f}s wall "
+        f"({scale.detail['sim_s_per_wall_s']:.0f}x real time)"
+    )
+    equivalence = report.workloads["equivalence"]
+    rows = []
+    for point in equivalence.detail["points"]:
+        rows.append(
+            {
+                "rho": f"{point['rho']:.2f}",
+                "packet_ms": f"{point['packet_delay_ms']:.2f}",
+                "fluid_ms": f"{point['fluid_delay_ms']:.2f}",
+                "delay_err": f"{point['delay_rel_error']:.1%}",
+                "packet_loss": f"{point['packet_loss']:.4f}",
+                "fluid_loss": f"{point['fluid_loss']:.4f}",
+                "loss_pp": f"{point['loss_error_pp']:.2f}",
+            }
+        )
+    emit(format_table(rows, title="E16 — fluid vs packet equivalence"))
+
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    emit(f"wrote {OUT_PATH}")
+
+    payload = json.loads(report.to_json())
+    assert payload["schema"] == "tango-repro/bench-traffic/v1"
+
+    # Gate 1: >=1M concurrent modeled flows, simulated in <10 s wall.
+    assert scale.detail["peak_concurrent_flows"] >= SCALE_TARGET_FLOWS, (
+        f"only {scale.detail['peak_concurrent_flows']:,.0f} concurrent "
+        f"flows modeled (gate: {SCALE_TARGET_FLOWS:,})"
+    )
+    assert scale.detail["wall_s"] < SCALE_MAX_WALL_S, (
+        f"scale workload took {scale.detail['wall_s']:.2f}s wall "
+        f"(gate: {SCALE_MAX_WALL_S:.0f}s)"
+    )
+
+    # Gate 2: fluid model within tolerance of the packet simulator at
+    # every utilization point.
+    for point in equivalence.detail["points"]:
+        assert point["delay_rel_error"] <= EQUIV_DELAY_TOL, (
+            f"rho={point['rho']}: delay error {point['delay_rel_error']:.1%} "
+            f"exceeds {EQUIV_DELAY_TOL:.0%}"
+        )
+        assert point["loss_error_pp"] <= EQUIV_LOSS_TOL_PP, (
+            f"rho={point['rho']}: loss error {point['loss_error_pp']:.2f}pp "
+            f"exceeds {EQUIV_LOSS_TOL_PP:.0f}pp"
+        )
+    assert report.passed

@@ -162,6 +162,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the (slow) fault-replay workload",
     )
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="flow-level traffic engine: scale bench + fluid/packet equivalence",
+        description=(
+            "Drive the fluid traffic engine (repro.traffic) over the "
+            "Vultr scenario and validate it against the packet "
+            "simulator.  Exit status: 0 all gates pass, 1 a gate fails, "
+            "2 usage errors."
+        ),
+    )
+    traffic_sub = traffic.add_subparsers(dest="traffic_command", required=True)
+    traffic_run = traffic_sub.add_parser(
+        "run",
+        help="run the standard traffic workloads and write BENCH_TRAFFIC.json",
+        description=(
+            "Run the scale workload (>=1M concurrent modeled flows with "
+            "a mid-run demand surge under load-aware splitting) and the "
+            "fluid-vs-packet equivalence sweep, print the results, and "
+            "write the full report as JSON."
+        ),
+    )
+    traffic_run.add_argument(
+        "--flows", type=int, default=1_000_000,
+        help="target concurrent modeled flows (default: 1000000)",
+    )
+    traffic_run.add_argument(
+        "--out", default="BENCH_TRAFFIC.json",
+        help="report output path (default: BENCH_TRAFFIC.json); '-' to skip",
+    )
+    traffic_run.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: shorter simulated window and packet run, same gates",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="static determinism & Gao-Rexford policy-safety analysis",
@@ -545,6 +579,60 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traffic_run(args: argparse.Namespace) -> int:
+    from .traffic.bench import run_traffic_suite
+
+    if args.flows <= 0:
+        print(
+            f"tango-repro: --flows must be positive, got {args.flows}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = run_traffic_suite(smoke=args.smoke, target_flows=args.flows)
+
+    scale = report.workloads["scale"]
+    print(
+        "scale: "
+        f"{scale.detail['peak_concurrent_flows']:,.0f} peak flows, "
+        f"{scale.detail['sim_s']:.0f}s simulated in "
+        f"{scale.detail['wall_s']:.2f}s wall "
+        f"({scale.detail['sim_s_per_wall_s']:.0f}x real time) -> "
+        f"{'ok' if scale.passed else 'FAIL'}"
+    )
+    equivalence = report.workloads["equivalence"]
+    header = (
+        f"{'rho':>5} {'packet ms':>10} {'fluid ms':>9} {'delay err':>10} "
+        f"{'pkt loss':>9} {'fluid loss':>11} {'loss pp':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in equivalence.detail["points"]:
+        print(
+            f"{row['rho']:>5.2f} {row['packet_delay_ms']:>10.2f} "
+            f"{row['fluid_delay_ms']:>9.2f} {row['delay_rel_error']:>9.1%} "
+            f"{row['packet_loss']:>9.4f} {row['fluid_loss']:>11.4f} "
+            f"{row['loss_error_pp']:>8.2f}"
+        )
+    print(f"equivalence: {'ok' if equivalence.passed else 'FAIL'}")
+
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.out}")
+
+    if not report.passed:
+        failed = sorted(
+            name for name, wl in report.workloads.items() if not wl.passed
+        )
+        print(
+            f"tango-repro: traffic gate(s) failed: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     import os
 
@@ -582,6 +670,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_profile(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "traffic":
+        if args.traffic_command == "run":
+            return cmd_traffic_run(args)
+        raise AssertionError(f"unhandled traffic command {args.traffic_command!r}")
     if args.command == "faults":
         if args.faults_command == "run":
             return cmd_faults_run(args)

@@ -167,6 +167,10 @@ class TangoController:
             PR 1 behavior (cooperative estimates only).
         journal: write-ahead-log every routing decision and checkpoint
             runtime state periodically; None disables persistence.
+        rebalancer: optional per-tick hook ``(now) -> None`` that
+            re-derives data-plane split weights from fresh telemetry
+            (see :class:`repro.traffic.splitting.SplitRebalancer`);
+            None keeps single-path selection untouched.
     """
 
     def __init__(
@@ -179,6 +183,7 @@ class TangoController:
         quarantine: Optional[QuarantinePolicy] = None,
         degraded: Optional[DegradedModeConfig] = None,
         journal: Optional["ControllerJournal"] = None,
+        rebalancer: Optional[Callable[[float], None]] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -208,6 +213,7 @@ class TangoController:
         self._fallback_active = False
         self.degraded = degraded
         self.journal = journal
+        self.rebalancer = rebalancer
         #: Estimation source currently in use: cooperative | degraded.
         self.mode = MODE_COOPERATIVE
         #: Every downgrade/upgrade, in tick order (cumulative trace).
@@ -317,6 +323,8 @@ class TangoController:
                 self._degraded_tick(healths, now)
             if self.quarantine_policy is not None:
                 self._quarantine_tick(healths, now)
+        if self.rebalancer is not None:
+            self.rebalancer(now)
         if (
             self.journal is not None
             and self.ticks % self.journal.checkpoint_every_ticks == 0

@@ -64,6 +64,13 @@ class FlowletSelector:
         self._flows: dict[int, _FlowletState] = {}
         self.flowlets_started = 0
         self.switches = 0
+        #: Draws where the weight vector was degenerate (all zero, or
+        #: negative after clamping) and the selector fell back to uniform.
+        self.uniform_fallbacks = 0
+        #: Draws where at least one negative weight had to be clamped to 0.
+        self.clamped_weight_draws = 0
+        #: Flowlet assignments per tunnel path id, for telemetry.
+        self.split_counts: dict[int, int] = {}
 
     def select(self, tunnels: list, packet: Packet, now: float) -> Tunnel:
         if not tunnels:
@@ -83,7 +90,20 @@ class FlowletSelector:
             last_packet_at=now, tunnel_index=index, flowlet_count=flowlet_count
         )
         self.flowlets_started += 1
-        return tunnels[index]
+        chosen = tunnels[index]
+        path_id = getattr(chosen, "path_id", index)
+        self.split_counts[path_id] = self.split_counts.get(path_id, 0) + 1
+        return chosen
+
+    def split_fractions(self) -> dict[int, float]:
+        """Observed flowlet-split fractions per tunnel path id."""
+        total = sum(self.split_counts.values())
+        if total == 0:
+            return {}
+        return {
+            path_id: count / total
+            for path_id, count in sorted(self.split_counts.items())
+        }
 
     def _flow_key(self, packet: Packet) -> int:
         if packet.flow_label:
@@ -93,14 +113,22 @@ class FlowletSelector:
 
     def _pick(self, tunnels: list, now: float, key: int, flowlet: int) -> int:
         if self.weights is not None:
-            raw = self.weights(tunnels, now)
+            raw = [float(w) for w in self.weights(tunnels, now)]
             if len(raw) != len(tunnels):
                 raise ValueError(
                     f"weight function returned {len(raw)} weights "
                     f"for {len(tunnels)} tunnels"
                 )
+            # Negative weights would corrupt the cumulative draw (the
+            # running sum could decrease past u and double-select early
+            # tunnels): clamp them to zero, then renormalize.  A vector
+            # that is degenerate after clamping falls back to uniform.
+            if any(w < 0 for w in raw):
+                self.clamped_weight_draws += 1
+                raw = [max(w, 0.0) for w in raw]
             total = float(sum(raw))
             if total <= 0:
+                self.uniform_fallbacks += 1
                 weights = [1.0 / len(tunnels)] * len(tunnels)
             else:
                 weights = [w / total for w in raw]

@@ -107,6 +107,29 @@ class SequenceTracker:
         stats.duplicates += 1
         return "duplicate"
 
+    def record_aggregate(self, path_id: int, delivered: int, lost: int) -> None:
+        """Fold an aggregate observation into one path's counters.
+
+        The fluid traffic engine (:mod:`repro.traffic.fluid`) models
+        millions of packets per step and cannot stamp individual
+        sequence numbers; it reports per-step delivered/lost packet
+        totals instead.  Aggregate losses are final — they are *not*
+        added to the missing-set, so they can never be reconciled back
+        into reorderings — but they advance the sequence space exactly
+        as ``delivered + lost`` individually observed packets would,
+        keeping :attr:`SequenceStats.loss_fraction` and the downstream
+        ``LossMonitor`` bins consistent between packet and fluid modes.
+        """
+        if delivered < 0 or lost < 0:
+            raise ValueError("delivered and lost must be >= 0")
+        if delivered == 0 and lost == 0:
+            return
+        state = self._paths.setdefault(path_id, _PathState())
+        stats = state.stats
+        stats.received += delivered
+        stats.presumed_lost += lost
+        stats.highest_seen += delivered + lost
+
     def _trim(self, state: _PathState) -> None:
         if len(state.missing) <= self._max_gap_tracking:
             return

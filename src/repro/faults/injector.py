@@ -249,6 +249,28 @@ class FaultInjector:
         if event.duration > 0:
             sim.schedule_at(event.end, revert)
 
+    def _arm_demand_surge(self, event: FaultEvent, index: int) -> None:
+        """Multiply offered demand at an edge during the fault window.
+
+        Routed through the fluid traffic engine: a pure data mutation of
+        its demand model (a :class:`~repro.traffic.demand.SurgeWindow`),
+        nothing scheduled — the engine evaluates the surge as a function
+        of time, so replays are structurally deterministic.  Requires a
+        :class:`~repro.traffic.fluid.FluidEngine` attached at the edge
+        (LookupError at arm time otherwise, the CLI's exit-2 path).
+        """
+        engine = self.deployment.traffic_engine(str(event.params["edge"]))
+        factor = float(event.params["factor"])
+        if factor <= 0:
+            raise ValueError(f"demand_surge factor must be > 0, got {factor}")
+        flow_label = event.params.get("flow_label")
+        engine.demand.add_surge(
+            event.at,
+            event.end,
+            factor,
+            flow_label=None if flow_label is None else int(flow_label),
+        )
+
     # -- BGP reachability -> data-plane coupling -----------------------------------
 
     def _sync_bgp_blackholes(self) -> None:

@@ -27,6 +27,7 @@ _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "telemetry_loss": ("edge", "rate"),
     "clock_step": ("edge", "step_ms"),
     "controller_crash": ("edge",),
+    "demand_surge": ("edge", "factor"),
 }
 
 FAULT_KINDS = frozenset(_REQUIRED_PARAMS)
@@ -43,6 +44,7 @@ _NEEDS_DURATION = frozenset(
         "prefix_withdraw",
         "telemetry_drop",
         "telemetry_loss",
+        "demand_surge",
     }
 )
 

@@ -215,6 +215,14 @@ def check_fault_plan(
                         f"prefix_index {prefix_index} out of range for edge "
                         f"{edge!r} with {count} route prefixes",
                     )
+        if event.kind == "demand_surge":
+            try:
+                factor = float(params["factor"])
+            except (TypeError, ValueError):
+                bad(index, f"demand_surge factor {params['factor']!r} is not a number")
+            else:
+                if factor <= 0:
+                    bad(index, f"demand_surge factor must be > 0, got {factor:g}")
         if event.kind == "bgp_session_down":
             a, b = str(params["a"]), str(params["b"])
             for router in (a, b):

@@ -69,6 +69,7 @@ class QueuedLink(Link):
         self.buffer_bytes = buffer_bytes
         self._busy_until = 0.0
         self._backlog_bytes = 0
+        self._busy_seconds = 0.0
         self.dropped_queue = 0
         self.max_backlog_bytes = 0
 
@@ -91,6 +92,7 @@ class QueuedLink(Link):
             return False
 
         serialization = packet.wire_bytes * 8.0 / self.rate_bps
+        self._busy_seconds += serialization
         start = max(now, self._busy_until)
         departure = start + serialization
         if start > now:
@@ -113,3 +115,30 @@ class QueuedLink(Link):
     def queue_depth_bytes(self) -> int:
         """Current buffered backlog (excludes the packet in service)."""
         return self._backlog_bytes
+
+    # ------------------------------------------------------------------
+    # Observables (pure accounting, no behavioral effect on packet mode).
+    # The fluid traffic engine and the equivalence harness read these to
+    # compare aggregate predictions against the packet-level ground
+    # truth; they are also useful for scenario debugging.
+    # ------------------------------------------------------------------
+
+    def utilization(self, now: float) -> float:
+        """Fraction of [0, now] the link spent serializing packets.
+
+        This is the packet-mode analogue of the fluid model's ``rho``
+        (accepted-load utilization, capped at 1.0 since the link cannot
+        serialize faster than its rate).
+        """
+        if now <= 0:
+            return 0.0
+        return min(self._busy_seconds / now, 1.0)
+
+    def pending_wait_s(self, now: float) -> float:
+        """Time a packet arriving at ``now`` would wait before service."""
+        return max(0.0, self._busy_until - now)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative serialization time accepted onto the wire."""
+        return self._busy_seconds

@@ -32,6 +32,12 @@ from ..core.discovery import PathDiscovery
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultEvent, FaultPlan
 from ..faults.recovery import RecoveryLog
+from ..traffic.bench import (
+    TrafficReport,
+    run_equivalence_workload,
+    run_scale_workload,
+    run_traffic_suite,
+)
 from .core import Profiler
 
 __all__ = [
@@ -43,6 +49,13 @@ __all__ = [
     "run_reset_workload",
     "run_fault_replay_workload",
     "run_perf_suite",
+    # Traffic-engine workloads (see repro.traffic.bench): re-exported so
+    # repro.profiling.bench remains the one-stop module for standard
+    # benchmark workloads.
+    "TrafficReport",
+    "run_scale_workload",
+    "run_equivalence_workload",
+    "run_traffic_suite",
 ]
 
 #: The CI perf gate: incremental full-path discovery over the Vultr

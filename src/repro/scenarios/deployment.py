@@ -120,6 +120,9 @@ class PacketLevelDeployment:
         #: fault and the supervisor both resolve controllers here).
         self.controllers: dict[str, object] = {}
         self.supervisors: dict[str, Supervisor] = {}
+        #: edge name -> attached fluid traffic engine (the demand_surge
+        #: fault resolves engines here; see repro.traffic.fluid).
+        self.traffic_engines: dict[str, object] = {}
 
     # -- establishment ------------------------------------------------------------
 
@@ -289,6 +292,26 @@ class PacketLevelDeployment:
             raise LookupError(
                 f"no controller attached at edge {edge_name!r}; attached: "
                 f"{sorted(self.controllers)}"
+            ) from None
+
+    # -- traffic engines -------------------------------------------------------------
+
+    def attach_traffic_engine(self, edge_name: str, engine: object) -> None:
+        """Register the fluid traffic engine sending *from* ``edge_name``
+        so faults (``demand_surge``) and reports can find it.  Called
+        automatically by :class:`repro.traffic.fluid.FluidEngine`."""
+        self.pairing.edge(edge_name)  # validates the name
+        self.traffic_engines[edge_name] = engine
+
+    def traffic_engine(self, edge_name: str) -> object:
+        """The traffic engine sending from ``edge_name`` (LookupError
+        with the attached names otherwise)."""
+        try:
+            return self.traffic_engines[edge_name]
+        except KeyError:
+            raise LookupError(
+                f"no traffic engine attached at edge {edge_name!r}; "
+                f"attached: {sorted(self.traffic_engines)}"
             ) from None
 
     def supervise(

@@ -95,6 +95,10 @@ class PathCalibration:
     with_route_change: bool = False
     with_instability: bool = False
     background_spikes: bool = False
+    #: Provisioned bottleneck capacity of the transit path, used by the
+    #: fluid traffic engine (repro.traffic) — the packet simulator's
+    #: QueuedLink has its own bandwidth parameter and ignores this.
+    capacity_bps: float = 10e9
 
     def build(self, include_events: bool = True) -> CompositeDelay:
         """Materialize the delay process."""
@@ -149,9 +153,16 @@ class PathCalibration:
 #: NY→LA calibration (the direction Figure 4 plots).  NTT is the BGP
 #: default; its mean sits ≈30% above GTT's.  GTT carries both events.
 NY_TO_LA_PATHS: dict[str, PathCalibration] = {
-    "NTT": PathCalibration("NTT", base_ms=36.4, sigma_ms=0.12, diurnal_ms=1.2, seed=11),
+    "NTT": PathCalibration(
+        "NTT",
+        base_ms=36.4,
+        sigma_ms=0.12,
+        diurnal_ms=1.2,
+        seed=11,
+        capacity_bps=12e9,
+    ),
     "Telia": PathCalibration(
-        "Telia", base_ms=32.0, sigma_ms=0.25, diurnal_ms=0.5, seed=12
+        "Telia", base_ms=32.0, sigma_ms=0.25, diurnal_ms=0.5, seed=12, capacity_bps=10e9
     ),
     "GTT": PathCalibration(
         "GTT",
@@ -161,6 +172,7 @@ NY_TO_LA_PATHS: dict[str, PathCalibration] = {
         seed=13,
         with_route_change=True,
         with_instability=True,
+        capacity_bps=8e9,
     ),
     "Level3": PathCalibration(
         "Level3",
@@ -169,17 +181,27 @@ NY_TO_LA_PATHS: dict[str, PathCalibration] = {
         diurnal_ms=1.5,
         seed=14,
         background_spikes=True,
+        capacity_bps=6e9,
     ),
 }
 
 #: LA→NY calibration.  Jitter numbers match the paper's Section 5: GTT's
 #: 1-second rolling-window stddev ≈ 0.01 ms, Telia's ≈ 0.33 ms.
 LA_TO_NY_PATHS: dict[str, PathCalibration] = {
-    "NTT": PathCalibration("NTT", base_ms=36.6, sigma_ms=0.05, diurnal_ms=1.0, seed=21),
-    "Telia": PathCalibration(
-        "Telia", base_ms=33.4, sigma_ms=0.33, diurnal_ms=0.6, seed=22
+    "NTT": PathCalibration(
+        "NTT",
+        base_ms=36.6,
+        sigma_ms=0.05,
+        diurnal_ms=1.0,
+        seed=21,
+        capacity_bps=12e9,
     ),
-    "GTT": PathCalibration("GTT", base_ms=28.3, sigma_ms=0.01, diurnal_ms=0.2, seed=23),
+    "Telia": PathCalibration(
+        "Telia", base_ms=33.4, sigma_ms=0.33, diurnal_ms=0.6, seed=22, capacity_bps=10e9
+    ),
+    "GTT": PathCalibration(
+        "GTT", base_ms=28.3, sigma_ms=0.01, diurnal_ms=0.2, seed=23, capacity_bps=8e9
+    ),
     "Cogent": PathCalibration(
         "Cogent",
         base_ms=41.0,
@@ -187,6 +209,7 @@ LA_TO_NY_PATHS: dict[str, PathCalibration] = {
         diurnal_ms=1.4,
         seed=24,
         background_spikes=True,
+        capacity_bps=6e9,
     ),
 }
 

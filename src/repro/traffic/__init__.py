@@ -1,0 +1,39 @@
+"""Flow-level traffic engine: demand, fluid congestion, load-aware splits.
+
+The packet-level simulator (:mod:`repro.netsim`) is exact but caps
+scenarios at thousands of packets; serving "heavy traffic from millions
+of users" (ROADMAP north star) needs an aggregate model.  This package
+adds one:
+
+* :mod:`repro.traffic.demand` — seeded traffic-matrix and flow-arrival
+  generators (heavy-tailed sizes, diurnal curves, surge windows).
+* :mod:`repro.traffic.fluid` — a deterministic fixed-step fluid engine
+  pushing aggregate offered load through the Tango tunnels, computing
+  per-link utilization, queueing delay inflation, and loss beyond
+  capacity, and feeding the results into the existing telemetry stores
+  so every selector and quarantine policy works unchanged.
+* :mod:`repro.traffic.splitting` — load-aware split weights and a
+  weighted-split path selector.
+* :mod:`repro.traffic.equivalence` — the fluid-vs-packet validation
+  harness.
+* :mod:`repro.traffic.bench` — standard workloads and the
+  ``BENCH_TRAFFIC.json`` emitter.
+"""
+
+from .demand import DemandModel, FlowClass, SurgeWindow, standard_flow_classes
+from .fluid import FluidEngine, TunnelLoad, fluid_overload_loss, fluid_wait_s
+from .splitting import LoadAwareWeights, SplitRebalancer, WeightedSplitSelector
+
+__all__ = [
+    "DemandModel",
+    "FlowClass",
+    "SurgeWindow",
+    "standard_flow_classes",
+    "FluidEngine",
+    "TunnelLoad",
+    "fluid_wait_s",
+    "fluid_overload_loss",
+    "LoadAwareWeights",
+    "SplitRebalancer",
+    "WeightedSplitSelector",
+]

@@ -1,0 +1,234 @@
+"""Standard traffic workloads and the BENCH_TRAFFIC.json report.
+
+Two gated workloads (EXPERIMENTS.md E16):
+
+* **scale** — the fluid engine drives the full Vultr deployment with the
+  standard web/video/iot mix seeded at ≥1M concurrent modeled flows,
+  load-aware splitting under a controller, and a mid-run demand surge.
+  Gate: the simulated window completes in under
+  :data:`SCALE_MAX_WALL_S` wall-clock seconds while peak concurrency
+  stays at or above :data:`SCALE_TARGET_FLOWS`.
+* **equivalence** — the fluid-vs-packet sweep of
+  :mod:`repro.traffic.equivalence`.  Gate: mean delay within
+  :data:`EQUIV_DELAY_TOL` (relative) and loss within
+  :data:`EQUIV_LOSS_TOL_PP` percentage points at every utilization.
+
+Wall-clock is read through the profiler's injectable clock (TNG001).
+Used by ``tango-repro traffic run`` and the ``traffic`` CI job
+(``benchmarks/test_bench_traffic.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.controller import QuarantinePolicy, TangoController
+from ..profiling.core import Profiler
+from ..scenarios.vultr import VultrDeployment
+from .demand import DemandModel, standard_flow_classes
+from .equivalence import run_equivalence
+from .fluid import FluidEngine
+from .splitting import LoadAwareWeights, WeightedSplitSelector
+
+__all__ = [
+    "SCALE_TARGET_FLOWS",
+    "SCALE_MAX_WALL_S",
+    "EQUIV_DELAY_TOL",
+    "EQUIV_LOSS_TOL_PP",
+    "TrafficWorkloadResult",
+    "TrafficReport",
+    "run_scale_workload",
+    "run_equivalence_workload",
+    "run_traffic_suite",
+]
+
+#: The scale gate: at least this many concurrent modeled flows...
+SCALE_TARGET_FLOWS = 1_000_000
+#: ...simulated end to end in under this much wall-clock time.
+SCALE_MAX_WALL_S = 10.0
+#: Equivalence gates: per-point mean-delay relative tolerance and loss
+#: tolerance in percentage points.
+EQUIV_DELAY_TOL = 0.10
+EQUIV_LOSS_TOL_PP = 2.0
+
+
+@dataclass
+class TrafficWorkloadResult:
+    """One workload's outcome: pass/fail plus the numbers behind it."""
+
+    name: str
+    passed: bool
+    detail: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {"passed": self.passed, "detail": dict(sorted(self.detail.items()))}
+
+
+@dataclass
+class TrafficReport:
+    """Everything one traffic-suite run measured."""
+
+    smoke: bool
+    workloads: dict[str, TrafficWorkloadResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(wl.passed for wl in self.workloads.values())
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "schema": "tango-repro/bench-traffic/v1",
+            "smoke": self.smoke,
+            "passed": self.passed,
+            "gates": {
+                "scale_target_flows": SCALE_TARGET_FLOWS,
+                "scale_max_wall_s": SCALE_MAX_WALL_S,
+                "equivalence_delay_tol": EQUIV_DELAY_TOL,
+                "equivalence_loss_tol_pp": EQUIV_LOSS_TOL_PP,
+            },
+            "workloads": {
+                name: wl.as_dict() for name, wl in sorted(self.workloads.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def run_scale_workload(
+    *,
+    target_flows: int = SCALE_TARGET_FLOWS,
+    duration_s: float = 60.0,
+    step_s: float = 0.1,
+    surge_factor: float = 2.5,
+    profiler: Optional[Profiler] = None,
+) -> TrafficWorkloadResult:
+    """Vultr NY→LA under ≥``target_flows`` flows with a mid-run surge.
+
+    Seeds the standard flow mix ~5% above the target (Little's-law
+    equilibrium), splits it with load-aware weights under a
+    quarantine-enabled controller, surges demand over the middle third
+    of the run, and times the simulated window end to end.
+    """
+    profiler = profiler or Profiler()
+    deployment = VultrDeployment(include_events=False)
+    deployment.establish()
+    sim = deployment.sim
+    gateway = deployment.gateway_ny
+
+    demand = DemandModel(
+        classes=standard_flow_classes(target_flows * 1.05), seed=42
+    )
+    engine = FluidEngine(deployment, "ny", demand, step_s=step_s)
+    selector = WeightedSplitSelector(
+        LoadAwareWeights(
+            gateway.outbound, window_s=1.0, utilization=engine.utilization
+        ),
+        seed=9,
+    )
+    deployment.set_data_policy("ny", selector)
+    controller = TangoController(
+        gateway, sim, interval_s=0.1, quarantine=QuarantinePolicy()
+    )
+    deployment.attach_controller("ny", controller)
+    controller.start()
+
+    start = sim.now
+    surge_at = start + duration_s / 3.0
+    surge_end = start + 2.0 * duration_s / 3.0
+    demand.add_surge(surge_at, surge_end, surge_factor)
+    engine.start()
+
+    clock = profiler.clock
+    wall_start = clock()
+    sim.run(until=start + duration_s)
+    wall_s = clock() - wall_start
+    engine.stop()
+    controller.stop()
+
+    pre = engine.dominant_path(at=surge_at - step_s)
+    during = engine.dominant_path(at=surge_end - step_s)
+    peak = engine.peak_concurrent_flows
+    passed = peak >= target_flows and wall_s < SCALE_MAX_WALL_S
+    return TrafficWorkloadResult(
+        name="scale",
+        passed=passed,
+        detail={
+            "target_flows": target_flows,
+            "peak_concurrent_flows": peak,
+            "final_concurrent_flows": engine.concurrent_flows,
+            "wall_s": wall_s,
+            "sim_s": duration_s,
+            "sim_s_per_wall_s": duration_s / wall_s if wall_s > 0 else float("inf"),
+            "steps": engine.steps,
+            "surge_factor": surge_factor,
+            "dominant_path_pre_surge": pre,
+            "dominant_path_during_surge": during,
+            "split_shifted": pre != during,
+            "controller_ticks": controller.ticks,
+        },
+    )
+
+
+def run_equivalence_workload(
+    *,
+    packets: int = 40_000,
+    profiler: Optional[Profiler] = None,
+) -> TrafficWorkloadResult:
+    """The fluid-vs-packet sweep, checked against the E16 tolerances."""
+    profiler = profiler or Profiler()
+    clock = profiler.clock
+    wall_start = clock()
+    points = run_equivalence(packets=packets)
+    wall_s = clock() - wall_start
+
+    rows = []
+    passed = True
+    for point in points:
+        ok = (
+            point.delay_rel_error <= EQUIV_DELAY_TOL
+            and point.loss_error_pp <= EQUIV_LOSS_TOL_PP
+        )
+        passed = passed and ok
+        rows.append(
+            {
+                "rho": point.rho,
+                "packet_delay_ms": point.packet_delay_s * 1e3,
+                "fluid_delay_ms": point.fluid_delay_s * 1e3,
+                "delay_rel_error": point.delay_rel_error,
+                "packet_loss": point.packet_loss,
+                "fluid_loss": point.fluid_loss,
+                "loss_error_pp": point.loss_error_pp,
+                "within_tolerance": ok,
+            }
+        )
+    return TrafficWorkloadResult(
+        name="equivalence",
+        passed=passed,
+        detail={"packets": packets, "wall_s": wall_s, "points": rows},
+    )
+
+
+def run_traffic_suite(
+    *,
+    smoke: bool = False,
+    target_flows: int = SCALE_TARGET_FLOWS,
+    profiler: Optional[Profiler] = None,
+) -> TrafficReport:
+    """Both workloads; smoke mode shortens the simulated window and the
+    packet-level comparison run (the gates stay identical)."""
+    profiler = profiler or Profiler()
+    scale = run_scale_workload(
+        target_flows=target_flows,
+        duration_s=10.0 if smoke else 60.0,
+        profiler=profiler,
+    )
+    equivalence = run_equivalence_workload(
+        packets=10_000 if smoke else 40_000, profiler=profiler
+    )
+    return TrafficReport(
+        smoke=smoke,
+        workloads={"scale": scale, "equivalence": equivalence},
+    )

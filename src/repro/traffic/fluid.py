@@ -1,0 +1,405 @@
+"""Deterministic fixed-step fluid congestion engine.
+
+Pushes aggregate offered load (from :mod:`repro.traffic.demand`) through
+the Tango tunnels of an established deployment, computing per-tunnel
+utilization, queueing-delay inflation, and loss beyond capacity, and
+feeding the results into the *existing* telemetry path:
+
+* per-tunnel delay samples land in the receiver gateway's ``inbound``
+  :class:`~repro.telemetry.store.MeasurementStore` (with the calibrated
+  clock offset applied), so the deployment's ``TelemetryMirror`` reports
+  them back to the sender and every delay-based selector
+  (``LowestDelaySelector``, ``HysteresisSelector``, ...) works unchanged;
+* aggregate delivered/lost packet counts land in the sender's
+  ``SequenceTracker`` via :meth:`record_aggregate`, so ``LossMonitor``,
+  ``LossAwareSelector`` and ``QuarantinePolicy`` see fluid-mode loss.
+
+The congestion model is a fluid queue with a Pollaczek–Khinchine
+stochastic term: below capacity the expected M/D/1 wait
+``rho / (2 (1 - rho)) * service`` applies; above capacity a fluid
+backlog grows at ``(offered - capacity)`` until the buffer bound
+(``capacity * buffer_delay_s``), after which the excess is lost —
+yielding the classic steady-state overload loss ``1 - 1/rho`` and a
+delay inflation of one full buffer drain.  Both regimes are validated
+against the packet-level :class:`~repro.netsim.queueing.QueuedLink` by
+:mod:`repro.traffic.equivalence`.
+
+Scale: flows are aggregated into per-(flow-class, tunnel) buckets of
+*float* counts, so a step costs O(classes x tunnels) regardless of how
+many million concurrent flows the buckets represent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.packet import TANGO_UDP_PORT, Ipv6Header, Packet, UdpHeader
+
+from .demand import DemandModel, FlowClass
+
+__all__ = ["FluidEngine", "TunnelLoad", "fluid_wait_s", "fluid_overload_loss"]
+
+#: Utilization cap for the stochastic (P-K) wait term: beyond capacity
+#: the *fluid backlog* models the delay growth, so the stochastic term
+#: is clamped instead of diverging.
+RHO_WAIT_CAP = 0.995
+
+#: A sample whose loss reaches this level is treated as a blackhole: no
+#: telemetry sample is recorded, so staleness detection fires exactly as
+#: it does in packet mode when every probe is dropped.
+BLACKHOLE_LOSS = 0.999
+
+
+def fluid_wait_s(rho: float, service_s: float) -> float:
+    """Expected M/D/1 queueing wait at utilization ``rho``.
+
+    Pollaczek–Khinchine with deterministic service (the packet
+    simulator serializes fixed-size packets): ``W = rho / (2 (1 - rho))
+    * service``.  Clamped at :data:`RHO_WAIT_CAP` — overload delay is
+    carried by the explicit fluid backlog, not this term.
+    """
+    if service_s < 0:
+        raise ValueError("service_s must be >= 0")
+    rho = min(max(rho, 0.0), RHO_WAIT_CAP)
+    return rho / (2.0 * (1.0 - rho)) * service_s
+
+
+def fluid_overload_loss(rho: float) -> float:
+    """Steady-state loss fraction of a full buffer at utilization ``rho``.
+
+    With offered rate ``rho * C`` and drain rate ``C``, a saturated
+    buffer sheds ``1 - 1/rho`` of arrivals; below capacity there is no
+    steady-state overload loss.
+    """
+    if rho <= 1.0:
+        return 0.0
+    return 1.0 - 1.0 / rho
+
+
+@dataclass(frozen=True)
+class TunnelLoad:
+    """One tunnel's load snapshot for one engine step."""
+
+    path_id: int
+    label: str
+    offered_bps: float
+    capacity_bps: float
+    utilization: float
+    backlog_bits: float
+    delay_s: float
+    loss: float
+
+
+class FluidEngine:
+    """Fixed-step fluid traffic engine for one direction of a deployment.
+
+    Args:
+        deployment: an established scenario deployment (e.g.
+            ``VultrDeployment``) exposing ``sim``, ``gateway``,
+            ``tunnels``, ``wan_link``, ``peer_of`` and
+            ``clock_offset_delta``.
+        src: sending edge name (``"ny"`` sends NY→LA).
+        demand: the demand model driving offered load.
+        step_s: engine step; also the telemetry sampling period.
+        default_capacity_bps: capacity for paths whose calibration does
+            not declare ``capacity_bps``.
+        packet_bytes: wire size used to convert bits to packets for the
+            loss ledger and the service time in the P-K term.
+        buffer_delay_s: bottleneck buffer depth expressed as drain time
+            (buffer_bits = capacity * buffer_delay_s).
+        record_traces: keep per-step split/concurrency traces (cheap;
+            disable only for very long runs).
+    """
+
+    def __init__(
+        self,
+        deployment: object,
+        src: str,
+        demand: DemandModel,
+        *,
+        step_s: float = 0.1,
+        default_capacity_bps: float = 10e9,
+        packet_bytes: int = 1500,
+        buffer_delay_s: float = 0.1,
+        record_traces: bool = True,
+    ) -> None:
+        if step_s <= 0:
+            raise ValueError("step_s must be > 0")
+        self.deployment = deployment
+        self.src = src
+        self.demand = demand
+        self.step_s = step_s
+        self.packet_bytes = packet_bytes
+        self.buffer_delay_s = buffer_delay_s
+        self.record_traces = record_traces
+
+        self.sim = deployment.sim
+        self.sender = deployment.gateway(src)
+        self.peer = deployment.peer_of(src)
+        self.receiver = deployment.gateway(self.peer)
+        self.tunnels = list(deployment.tunnels(src))
+        self._offset = deployment.clock_offset_delta(src)
+
+        self._links = {
+            t.path_id: deployment.wan_link(src, t.short_label) for t in self.tunnels
+        }
+        calibrations = getattr(deployment, "calibrations", {}).get(src, {})
+        self._capacity: dict[int, float] = {}
+        for tunnel in self.tunnels:
+            calibration = calibrations.get(tunnel.short_label)
+            capacity = getattr(calibration, "capacity_bps", 0.0) or 0.0
+            self._capacity[tunnel.path_id] = capacity or default_capacity_bps
+
+        # Per-(flow-class) aggregate buckets: float concurrency counts.
+        self._flows: dict[int, float] = {cls.flow_label: 0.0 for cls in demand.classes}
+        self._backlog_bits: dict[int, float] = {t.path_id: 0.0 for t in self.tunnels}
+        # Fractional packet carries for the loss ledger, so integer
+        # delivered/lost counts conserve totals across steps.
+        self._delivered_carry: dict[int, float] = {t.path_id: 0.0 for t in self.tunnels}
+        self._lost_carry: dict[int, float] = {t.path_id: 0.0 for t in self.tunnels}
+        self._packets: dict[int, Packet] = {
+            cls.flow_label: self._synthetic_packet(cls) for cls in demand.classes
+        }
+
+        self.steps = 0
+        self.peak_concurrent_flows = 0.0
+        self.last_loads: dict[int, TunnelLoad] = {}
+        self.split_trace: list[tuple[float, dict[int, float]]] = []
+        self.concurrency_trace: list[tuple[float, float]] = []
+        self._task = None
+        self._last = self.sim.now
+
+        attach = getattr(deployment, "attach_traffic_engine", None)
+        if callable(attach):
+            attach(src, self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, *, at_equilibrium: bool = True) -> None:
+        """Begin stepping; optionally seed buckets at Little's-law level.
+
+        Seeding at equilibrium is what makes "≥1M concurrent flows" hold
+        from the first step without simulating a multi-minute warm-up.
+        """
+        now = self.sim.now
+        if at_equilibrium:
+            for cls in self.demand.classes:
+                self._flows[cls.flow_label] = self.demand.equilibrium_flows(cls, now)
+            self.peak_concurrent_flows = max(
+                self.peak_concurrent_flows, self.concurrent_flows
+            )
+        self._last = now
+        # call_every fires immediately at `now` unless start is given;
+        # the first step must cover one full dt.
+        self._task = self.sim.call_every(
+            self.step_s, self._step, start=now + self.step_s
+        )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+
+    @property
+    def concurrent_flows(self) -> float:
+        """Total modeled concurrent flows across all class buckets."""
+        return sum(self._flows[cls.flow_label] for cls in self.demand.classes)
+
+    def flows_for(self, flow_label: int) -> float:
+        return self._flows[flow_label]
+
+    def utilization(self, path_id: int) -> float:
+        """Last computed utilization of ``path_id`` (0.0 before any step)."""
+        load = self.last_loads.get(path_id)
+        return load.utilization if load is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def _synthetic_packet(self, cls: FlowClass) -> Packet:
+        """A representative packet for selector dispatch.
+
+        Selectors only read the flow label (``ApplicationSelector``) and
+        the five-tuple (``FlowletSelector`` keying); one packet per
+        class keeps each class a stable flow.
+        """
+        anchor = self.tunnels[0]
+        return Packet(
+            headers=[
+                Ipv6Header(src=anchor.local_endpoint, dst=anchor.remote_endpoint),
+                UdpHeader(sport=49_152 + cls.flow_label, dport=TANGO_UDP_PORT),
+            ],
+            payload_bytes=max(0, self.packet_bytes - 48),
+            flow_label=cls.flow_label,
+        )
+
+    def _split_for(self, cls: FlowClass, now: float) -> dict[int, float]:
+        """Resolve the per-tunnel split for one class.
+
+        Selectors exposing ``split_weights(tunnels, now)`` (e.g.
+        :class:`~repro.traffic.splitting.WeightedSplitSelector`) yield a
+        fractional split; any other ``PathSelector`` is called once per
+        class per step and gets an all-to-one split — which is exactly
+        how existing single-path selectors behave, unchanged.
+        """
+        selector = self.sender.selector
+        weights_fn = getattr(selector, "split_weights", None)
+        if callable(weights_fn):
+            raw = [max(0.0, float(w)) for w in weights_fn(self.tunnels, now)]
+            total = sum(raw)
+            if total > 0:
+                return {
+                    t.path_id: w / total for t, w in zip(self.tunnels, raw)
+                }
+        chosen = selector.select(self.tunnels, self._packets[cls.flow_label], now)
+        return {chosen.path_id: 1.0}
+
+    def _step(self) -> None:
+        now = self.sim.now
+        dt = now - self._last
+        self._last = now
+        if dt <= 0:
+            return
+        self.steps += 1
+
+        # 1. Resolve splits and accumulate per-tunnel offered load.  The
+        #    surge factor scales the instantaneous per-flow rate too, so
+        #    a demand_surge fault changes load within one step instead of
+        #    waiting a mean flow lifetime for concurrency to ramp.
+        offered: dict[int, float] = {t.path_id: 0.0 for t in self.tunnels}
+        for cls in self.demand.classes:
+            rate = (
+                self._flows[cls.flow_label]
+                * cls.rate_bps
+                * self.demand.surge_factor(cls.flow_label, now)
+            )
+            if rate <= 0:
+                continue
+            for path_id, fraction in sorted(self._split_for(cls, now).items()):
+                offered[path_id] += rate * fraction
+
+        total_offered = sum(offered[t.path_id] for t in self.tunnels)
+
+        # 2. Per-tunnel fluid queue update, telemetry, and loss ledger.
+        loads: dict[int, TunnelLoad] = {}
+        bits_per_packet = self.packet_bytes * 8.0
+        for tunnel in self.tunnels:
+            pid = tunnel.path_id
+            capacity = self._capacity[pid]
+            link = self._links[pid]
+            rho = offered[pid] / capacity
+            service_s = bits_per_packet / capacity
+
+            inflow_bits = offered[pid] * dt
+            backlog = self._backlog_bits[pid] + inflow_bits - capacity * dt
+            buffer_bits = capacity * self.buffer_delay_s
+            lost_bits = 0.0
+            if backlog > buffer_bits:
+                lost_bits = backlog - buffer_bits
+                backlog = buffer_bits
+            backlog = max(backlog, 0.0)
+            self._backlog_bits[pid] = backlog
+
+            overload_loss = lost_bits / inflow_bits if inflow_bits > 0 else 0.0
+            base_loss = link.loss.loss_probability(now)
+            loss = 1.0 - (1.0 - base_loss) * (1.0 - overload_loss)
+
+            base_delay = link.delay.delay_at(now)
+            # Stochastic (P-K) wait plus the fluid backlog drain, capped
+            # at one full buffer — a finite queue cannot delay a packet
+            # longer than its own drain time.
+            queue_wait = min(
+                fluid_wait_s(rho, service_s) + backlog / capacity,
+                self.buffer_delay_s,
+            )
+            delay = base_delay + service_s + queue_wait
+            loads[pid] = TunnelLoad(
+                path_id=pid,
+                label=tunnel.short_label,
+                offered_bps=offered[pid],
+                capacity_bps=capacity,
+                utilization=rho,
+                backlog_bits=backlog,
+                delay_s=delay,
+                loss=loss,
+            )
+
+            # Telemetry: one delay sample per tunnel per step, recorded
+            # at step time (TimeSeries requires monotonic times) in the
+            # receiver's clock, mirrored back by the existing
+            # TelemetryMirror.  A blackholed tunnel records nothing, so
+            # staleness detection fires exactly as in packet mode.
+            if loss < BLACKHOLE_LOSS:
+                self.receiver.inbound.record(pid, now, delay + self._offset)
+
+            # Loss ledger: aggregate delivered/lost packets into the
+            # *sender's* tracker so LossMonitor / LossAwareSelector /
+            # QuarantinePolicy become actionable in fluid mode.
+            if inflow_bits > 0:
+                packets = inflow_bits / bits_per_packet
+                lost_f = packets * loss + self._lost_carry[pid]
+                delivered_f = packets * (1.0 - loss) + self._delivered_carry[pid]
+                lost_n = int(lost_f)
+                delivered_n = int(delivered_f)
+                self._lost_carry[pid] = lost_f - lost_n
+                self._delivered_carry[pid] = delivered_f - delivered_n
+                if lost_n or delivered_n:
+                    self.sender.tracker.record_aggregate(pid, delivered_n, lost_n)
+
+        self.last_loads = loads
+
+        # 3. Evolve class buckets: arrivals minus mean-field departures
+        #    (flows drain at 1/mean_duration; using per-step heavy-tail
+        #    draws here would bias the drain upward since E[1/X] >
+        #    1/E[X]).  Burstiness enters through the Poisson-scale
+        #    arrival noise; the heavy-tailed size distribution itself is
+        #    exposed by DemandModel.size_draw_bytes for per-flow
+        #    consumers.
+        for cls in self.demand.classes:
+            flows = self._flows[cls.flow_label]
+            arrivals = self.demand.arrivals_between(cls, now - dt, now)
+            departures = flows * dt / cls.mean_duration_s
+            self._flows[cls.flow_label] = max(0.0, flows + arrivals - departures)
+
+        self.peak_concurrent_flows = max(
+            self.peak_concurrent_flows, self.concurrent_flows
+        )
+
+        if self.record_traces:
+            if total_offered > 0:
+                split = {
+                    t.path_id: offered[t.path_id] / total_offered
+                    for t in self.tunnels
+                }
+            else:
+                split = {t.path_id: 0.0 for t in self.tunnels}
+            self.split_trace.append((now, split))
+            self.concurrency_trace.append((now, self.concurrent_flows))
+
+    # ------------------------------------------------------------------
+
+    def dominant_path(self, at: Optional[float] = None) -> Optional[int]:
+        """Path id carrying the largest offered share at/near time ``at``.
+
+        ``None`` before the first recorded step.  With ``at=None`` the
+        latest step is used; otherwise the last trace entry at or before
+        ``at``.
+        """
+        if not self.split_trace:
+            return None
+        entry = self.split_trace[-1]
+        if at is not None:
+            for t, split in reversed(self.split_trace):
+                if t <= at:
+                    entry = (t, split)
+                    break
+        _, split = entry
+        return max(sorted(split), key=lambda pid: split[pid])

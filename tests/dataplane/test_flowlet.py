@@ -79,6 +79,85 @@ class TestFlowletStickiness:
             FlowletSelector(gap_s=0.0)
 
 
+class TestGapBoundary:
+    def test_gap_exactly_at_threshold_opens_new_flowlet(self):
+        # Stickiness requires gap < gap_s strictly: a gap of exactly
+        # gap_s already guarantees in-order delivery, so it may switch.
+        selector = FlowletSelector(gap_s=0.050)
+        selector.select(TUNNELS, packet(flow=1), now=0.0)
+        selector.select(TUNNELS, packet(flow=1), now=0.050)
+        assert selector.flowlets_started == 2
+        selector.select(TUNNELS, packet(flow=1), now=0.050 + 0.0499)
+        assert selector.flowlets_started == 2  # just under: same flowlet
+
+    def test_single_tunnel_degenerate(self):
+        selector = FlowletSelector(gap_s=0.010, seed=5)
+        only = [TUNNELS[0]]
+        picks = {
+            selector.select(only, packet(flow=f), now=f * 1.0).path_id
+            for f in range(20)
+        }
+        assert picks == {0}
+        assert selector.switches == 0
+        assert selector.split_fractions() == {0: 1.0}
+
+
+class TestWeightHardening:
+    def test_negative_weights_clamped_and_counted(self):
+        selector = FlowletSelector(
+            gap_s=0.001, weights=lambda tunnels, now: [1.0, -5.0, 1.0]
+        )
+        picks = {
+            selector.select(TUNNELS, packet(flow=f), now=float(f)).path_id
+            for f in range(100)
+        }
+        assert 1 not in picks  # the clamped tunnel never drawn
+        assert selector.clamped_weight_draws == 100
+        assert selector.uniform_fallbacks == 0
+
+    def test_all_negative_falls_back_to_uniform(self):
+        selector = FlowletSelector(
+            gap_s=0.001, weights=lambda tunnels, now: [-1.0, -2.0, -3.0]
+        )
+        picks = {
+            selector.select(TUNNELS, packet(flow=f), now=float(f)).path_id
+            for f in range(100)
+        }
+        assert len(picks) == 3  # uniform spread, not a crash or skew
+        assert selector.uniform_fallbacks == 100
+        assert selector.clamped_weight_draws == 100
+
+    def test_split_counters_sum_to_flowlets(self):
+        selector = FlowletSelector(
+            gap_s=0.001, weights=lambda tunnels, now: [6.0, 3.0, 1.0], seed=2
+        )
+        for f in range(500):
+            selector.select(TUNNELS, packet(flow=f), now=float(f))
+        assert sum(selector.split_counts.values()) == selector.flowlets_started
+        fractions = selector.split_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[0] == pytest.approx(0.6, abs=0.07)
+
+    def test_empty_counters_before_any_draw(self):
+        assert FlowletSelector().split_fractions() == {}
+
+    def test_weighted_draws_deterministic_across_restarts(self):
+        def run():
+            selector = FlowletSelector(
+                gap_s=0.010,
+                weights=lambda tunnels, now: [2.0, 1.0, 1.0],
+                seed=13,
+            )
+            return [
+                selector.select(
+                    TUNNELS, packet(flow=f % 7), now=f * 0.02
+                ).path_id
+                for f in range(200)
+            ]
+
+        assert run() == run()
+
+
 class TestWeightedSelection:
     def test_zero_weight_tunnel_avoided(self):
         selector = FlowletSelector(

@@ -1,0 +1,173 @@
+"""Tests for the demand_surge fault kind (fluid traffic engine)."""
+
+import pytest
+
+from repro.core.policy import StaticSelector
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.lint import check_fault_plan, vultr_spec
+from repro.scenarios.vultr import VultrDeployment
+from repro.traffic.demand import DemandModel, FlowClass
+from repro.traffic.fluid import FluidEngine
+
+
+def surge_event(at=1.0, duration=2.0, factor=3.0, **extra):
+    params = {"edge": "ny", "factor": factor, **extra}
+    return FaultEvent("demand_surge", at=at, duration=duration, params=params)
+
+
+def plan_of(*events, seed=0):
+    return FaultPlan(name="surge-test", events=tuple(events), seed=seed)
+
+
+def fluid_deployment(offered_bps=1e9):
+    deployment = VultrDeployment(include_events=False)
+    deployment.establish()
+    deployment.set_data_policy("ny", StaticSelector(0))
+    demand = DemandModel(
+        classes=(
+            FlowClass(
+                name="bulk",
+                flow_label=1,
+                arrival_rate_per_s=offered_bps / 1e6,
+                mean_size_bytes=125_000.0,
+                rate_bps=1e6,
+            ),
+        ),
+        seed=5,
+    )
+    engine = FluidEngine(deployment, "ny", demand)
+    return deployment, engine
+
+
+class TestPlanValidation:
+    def test_params_required(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(
+                "demand_surge", at=1.0, duration=1.0, params={"edge": "ny"}
+            )
+        with pytest.raises(ValueError, match="edge"):
+            FaultEvent(
+                "demand_surge", at=1.0, duration=1.0, params={"factor": 2.0}
+            )
+
+    def test_duration_required(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(
+                "demand_surge",
+                at=1.0,
+                params={"edge": "ny", "factor": 2.0},
+            )
+
+    def test_json_round_trip(self):
+        plan = plan_of(surge_event(factor=2.5, flow_label=1))
+        replayed = FaultPlan.from_json(plan.to_json())
+        assert replayed.events[0].params["factor"] == 2.5
+        assert replayed.events[0].params["flow_label"] == 1
+
+
+class TestLint:
+    def test_valid_plan_is_clean(self):
+        assert check_fault_plan(plan_of(surge_event()), vultr_spec()) == []
+
+    def test_unknown_edge_flagged(self):
+        plan = plan_of(surge_event(edge="sf"))
+        findings = check_fault_plan(plan, vultr_spec())
+        assert any("unknown edge" in f.message for f in findings)
+
+    def test_nonpositive_factor_flagged(self):
+        findings = check_fault_plan(
+            plan_of(surge_event(factor=0.0)), vultr_spec()
+        )
+        assert any("factor must be > 0" in f.message for f in findings)
+
+    def test_non_numeric_factor_flagged(self):
+        findings = check_fault_plan(
+            plan_of(surge_event(factor="huge")), vultr_spec()
+        )
+        assert any("not a number" in f.message for f in findings)
+
+
+class TestInjection:
+    def test_arm_requires_attached_engine(self):
+        deployment = VultrDeployment(include_events=False)
+        deployment.establish()
+        injector = FaultInjector(deployment, plan_of(surge_event()))
+        with pytest.raises(LookupError, match="no traffic engine"):
+            injector.arm()
+
+    def test_arm_rejects_nonpositive_factor(self):
+        deployment, _engine = fluid_deployment()
+        injector = FaultInjector(deployment, plan_of(surge_event(factor=-1.0)))
+        with pytest.raises(ValueError, match="factor must be > 0"):
+            injector.arm()
+
+    def test_surge_window_installed_on_demand_model(self):
+        deployment, engine = fluid_deployment()
+        FaultInjector(
+            deployment, plan_of(surge_event(at=1.0, duration=2.0, factor=3.0))
+        ).arm()
+        assert engine.demand.surge_factor(1, 0.5) == 1.0
+        assert engine.demand.surge_factor(1, 1.5) == 3.0
+        assert engine.demand.surge_factor(1, 3.0) == 1.0
+
+    def test_surge_raises_offered_load_within_window(self):
+        deployment, engine = fluid_deployment(offered_bps=1e9)
+        FaultInjector(
+            deployment, plan_of(surge_event(at=1.0, duration=1.0, factor=3.0))
+        ).arm()
+        engine.start()
+        sim = deployment.sim
+
+        sim.run(until=1.0)
+        base = engine.last_loads[0].offered_bps
+        sim.run(until=1.6)
+        surged = engine.last_loads[0].offered_bps
+        sim.run(until=3.5)
+        settled = engine.last_loads[0].offered_bps
+
+        # The surge scales the instantaneous rate, so load responds
+        # within a step, then settles back once the window closes.
+        assert surged > 2.0 * base
+        assert settled < 1.6 * base
+
+    def test_label_targeted_surge_leaves_other_classes_alone(self):
+        deployment = VultrDeployment(include_events=False)
+        deployment.establish()
+        deployment.set_data_policy("ny", StaticSelector(0))
+        demand = DemandModel(
+            classes=(
+                FlowClass(
+                    name="a",
+                    flow_label=1,
+                    arrival_rate_per_s=100.0,
+                    mean_size_bytes=125_000.0,
+                    rate_bps=1e6,
+                ),
+                FlowClass(
+                    name="b",
+                    flow_label=2,
+                    arrival_rate_per_s=100.0,
+                    mean_size_bytes=125_000.0,
+                    rate_bps=1e6,
+                ),
+            ),
+            seed=5,
+        )
+        FluidEngine(deployment, "ny", demand)
+        FaultInjector(
+            deployment, plan_of(surge_event(factor=4.0, flow_label=2))
+        ).arm()
+        assert demand.surge_factor(1, 1.5) == 1.0
+        assert demand.surge_factor(2, 1.5) == 4.0
+
+    def test_replay_determinism(self):
+        def run():
+            deployment, engine = fluid_deployment(offered_bps=9.6e9)
+            FaultInjector(
+                deployment, plan_of(surge_event(at=1.0, duration=1.0, factor=2.0))
+            ).arm()
+            engine.start()
+            deployment.sim.run(until=3.0)
+            return engine.split_trace, engine.concurrency_trace
+
+        assert run() == run()

@@ -17,7 +17,8 @@ class TestFaultEvent:
         assert "clock_step" in FAULT_KINDS
         assert "telemetry_loss" in FAULT_KINDS
         assert "controller_crash" in FAULT_KINDS
-        assert len(FAULT_KINDS) == 10
+        assert "demand_surge" in FAULT_KINDS
+        assert len(FAULT_KINDS) == 11
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown fault kind"):

@@ -108,6 +108,52 @@ class TestQueueingDelayVisibility:
         assert arrivals[4] == pytest.approx(0.050)
 
 
+class TestObservables:
+    def test_utilization_tracks_busy_fraction(self):
+        sim, link, _ = build(rate_bps=8_000_000.0)
+        assert link.utilization(0.0) == 0.0
+        for _ in range(4):  # 4 x 1 ms of serialization
+            link.transmit(sim, make_packet())
+        sim.run()
+        sim.clock.advance_to(0.008)
+        assert link.busy_seconds == pytest.approx(0.004)
+        assert link.utilization(sim.now) == pytest.approx(0.5)
+
+    def test_utilization_capped_at_one(self):
+        sim, link, _ = build(rate_bps=8_000_000.0, buffer_bytes=100_000)
+        for _ in range(10):
+            link.transmit(sim, make_packet())
+        # 10 ms of accepted serialization after only 1 ms of sim time.
+        assert link.utilization(0.001) == 1.0
+
+    def test_dropped_packets_do_not_count_as_busy(self):
+        sim, link, _ = build(buffer_bytes=1000)
+        link.transmit(sim, make_packet())  # in service
+        link.transmit(sim, make_packet())  # queued
+        link.transmit(sim, make_packet())  # dropped
+        assert link.busy_seconds == pytest.approx(0.002)
+
+    def test_pending_wait_matches_backlog(self):
+        sim, link, _ = build(rate_bps=8_000_000.0, buffer_bytes=100_000)
+        assert link.pending_wait_s(0.0) == 0.0
+        for _ in range(3):
+            link.transmit(sim, make_packet())
+        assert link.pending_wait_s(0.0) == pytest.approx(0.003)
+        sim.run()
+        assert link.pending_wait_s(sim.now) == 0.0
+
+    def test_observables_do_not_change_behavior(self):
+        # Accounting only: delivery times are identical to the published
+        # service-time tests regardless of observable reads in between.
+        sim, link, arrivals = build(rate_bps=8_000_000.0)
+        link.transmit(sim, make_packet())
+        link.utilization(0.0005)
+        link.pending_wait_s(0.0005)
+        link.transmit(sim, make_packet())
+        sim.run()
+        assert arrivals == pytest.approx([0.001, 0.002])
+
+
 class TestValidation:
     def test_rate_required_positive(self):
         sim = Simulator()

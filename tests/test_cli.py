@@ -122,3 +122,39 @@ class TestFaultsRunBadPlan:
         assert main(["faults", "run", "--plan", str(missing)]) == 2
         err = capsys.readouterr().err
         assert "cannot read fault plan" in err
+
+
+class TestTraffic:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["traffic", "run"])
+        assert args.flows == 1_000_000
+        assert args.out == "BENCH_TRAFFIC.json"
+        assert not args.smoke
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["traffic"])
+
+    def test_nonpositive_flows_is_usage_error(self, capsys):
+        assert main(["traffic", "run", "--flows", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--flows must be positive" in err
+
+    def test_smoke_run_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BT.json"
+        assert main(["traffic", "run", "--smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "peak flows" in printed
+        assert "equivalence: ok" in printed
+        assert f"wrote {out}" in printed
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schema"] == "tango-repro/bench-traffic/v1"
+        assert payload["passed"] is True
+        assert payload["workloads"]["scale"]["passed"] is True
+
+    def test_dash_out_skips_report(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["traffic", "run", "--smoke", "--out", "-"]) == 0
+        assert not (tmp_path / "BENCH_TRAFFIC.json").exists()

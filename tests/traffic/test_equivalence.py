@@ -1,0 +1,76 @@
+"""Fluid-vs-packet equivalence: model properties and the sweep gate."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.equivalence import _poisson_gaps, run_equivalence
+from repro.traffic.fluid import (
+    RHO_WAIT_CAP,
+    fluid_overload_loss,
+    fluid_wait_s,
+)
+
+
+class TestClosedForms:
+    def test_pk_wait_monotone_in_rho(self):
+        service = 1.2e-3
+        waits = [fluid_wait_s(rho, service) for rho in (0.0, 0.3, 0.6, 0.9)]
+        assert waits[0] == 0.0
+        assert waits == sorted(waits)
+        # Known point: rho=0.5 -> W = 0.5/(2*0.5) * service = service/2.
+        assert fluid_wait_s(0.5, service) == pytest.approx(service / 2)
+
+    def test_pk_wait_clamped_at_cap(self):
+        service = 1.2e-3
+        assert fluid_wait_s(5.0, service) == fluid_wait_s(RHO_WAIT_CAP, service)
+        assert np.isfinite(fluid_wait_s(1e9, service))
+        with pytest.raises(ValueError):
+            fluid_wait_s(0.5, -1.0)
+
+    def test_overload_loss(self):
+        assert fluid_overload_loss(0.5) == 0.0
+        assert fluid_overload_loss(1.0) == 0.0
+        assert fluid_overload_loss(1.25) == pytest.approx(0.2)
+        assert fluid_overload_loss(2.0) == pytest.approx(0.5)
+
+
+class TestArrivalSchedule:
+    def test_gaps_deterministic_and_positive(self):
+        a = _poisson_gaps(9, 500, 1000.0)
+        b = _poisson_gaps(9, 500, 1000.0)
+        assert np.array_equal(a, b)
+        assert (a > 0).all()
+
+    def test_gaps_mean_matches_rate(self):
+        gaps = _poisson_gaps(9, 20_000, 1000.0)
+        assert float(np.mean(gaps)) == pytest.approx(1e-3, rel=0.05)
+
+    def test_seed_changes_schedule(self):
+        assert not np.array_equal(
+            _poisson_gaps(1, 100, 1000.0), _poisson_gaps(2, 100, 1000.0)
+        )
+
+
+class TestSweep:
+    def test_small_sweep_within_gates(self):
+        # A reduced sweep (one point per regime, fewer packets) so the
+        # tier-1 suite exercises the full comparison path quickly; the
+        # benchmark gate runs the full-size sweep.
+        points = run_equivalence(
+            utilizations=(0.6,), overloads=(1.3,), packets=8_000
+        )
+        assert [p.rho for p in points] == [0.6, 1.3]
+        for point in points:
+            assert point.delay_rel_error <= 0.10
+            assert point.loss_error_pp <= 2.0
+        below, above = points
+        assert below.packet_loss == 0.0
+        assert below.fluid_loss == 0.0
+        assert above.packet_loss > 0.15
+        assert above.fluid_loss == pytest.approx(1.0 - 1.0 / 1.3)
+        # Overload delay saturates near base + service + one buffer drain.
+        assert above.fluid_delay_s > below.fluid_delay_s + 0.05
+
+    def test_sweep_deterministic(self):
+        kwargs = dict(utilizations=(0.5,), overloads=(), packets=3_000)
+        assert run_equivalence(**kwargs) == run_equivalence(**kwargs)
