@@ -1,0 +1,27 @@
+"""Multiprocess chaos campaigns against the Byzantine-peer defense.
+
+A campaign fans a generated population of seeded adversarial fault plans
+(:mod:`repro.campaign.plans`) across worker processes, runs each plan
+against a *defended* and an *undefended* victim deployment
+(:mod:`repro.campaign.runner`), merges the per-shard results
+deterministically, and gates the merged report on the E17 SLOs —
+availability, MTTR, and one-way-delay regret.  Identical master seed ⇒
+byte-identical ``BENCH_ROBUST.json``, regardless of worker count.
+"""
+
+from .plans import AdversarialPlan, generate_adversarial_plans
+from .runner import (
+    CampaignConfig,
+    CampaignReport,
+    run_campaign,
+    run_plan,
+)
+
+__all__ = [
+    "AdversarialPlan",
+    "generate_adversarial_plans",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+    "run_plan",
+]

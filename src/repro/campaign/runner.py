@@ -1,0 +1,431 @@
+"""Multiprocess chaos-campaign runner and its E17 SLO gates.
+
+Every plan runs twice against the same victim deployment recipe — once
+*defended* (authenticated dataplane telemetry, channel record MACs, the
+plausibility gate, clock-integrity monitor, and peer-trust demotion) and
+once *undefended* (the PR 2 quarantine stack alone) — so each report row
+is its own ablation.  Worker processes receive serialized plans and a
+picklable config; each run is a pure function of ``(plan, config)``, so
+the merged report is byte-identical no matter how the population was
+sharded.  Nothing in the report reads the wall clock.
+
+The E17 gates (see EXPERIMENTS.md):
+
+* **regret** — each defended run's median one-way-delay regret stays
+  within ``2 x`` the fault-free baseline's (with a 1 ms noise floor);
+* **steering** — a defended victim never rides a tamper-favored tunnel
+  longer than one telemetry horizon, while the undefended victim is
+  demonstrably steered (>= 3 horizons) by every favored-tamper plan;
+* **availability** — defended data-packet delivery stays >= the SLO
+  despite the attack (reroutes are allowed, outages are not);
+* **MTTR** — classic blackholes still recover within the SLO with the
+  full defense stack armed (the defense must not slow plain recovery).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from .plans import AdversarialPlan, generate_adversarial_plans
+
+__all__ = ["CampaignConfig", "CampaignReport", "run_plan", "run_campaign"]
+
+#: Shared per-pairing MAC key used by every campaign run.
+CAMPAIGN_KEY = b"tango-campaign-key"
+
+VICTIM = "ny"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Per-run simulation recipe and the SLO thresholds gating it."""
+
+    horizon_s: float = 14.0
+    probe_interval_s: float = 0.05
+    data_gap_s: float = 0.02
+    controller_interval_s: float = 0.1
+    staleness_s: float = 0.5
+    telemetry_horizon_s: float = 1.0
+    warmup_s: float = 1.0
+    #: SLOs.
+    regret_factor: float = 2.0
+    regret_floor_ms: float = 1.0
+    min_undefended_steer_horizons: float = 3.0
+    availability_slo: float = 0.92
+    mttr_slo_s: float = 2.0
+    #: Regret charged for a tick spent on a path that delivers nothing
+    #: (blackholed / silently lossy) — large enough to dominate any real
+    #: path gap, finite so medians stay defined.
+    unusable_penalty_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= self.warmup_s:
+            raise ValueError("horizon_s must exceed warmup_s")
+        if self.telemetry_horizon_s <= 0:
+            raise ValueError("telemetry_horizon_s must be positive")
+
+
+def _build_victim(defended: bool, config: CampaignConfig):
+    """One victim deployment with a data stream, returning the pieces
+    the metrics need: (deployment, controller, sent_counter)."""
+    from ..core.controller import QuarantinePolicy, TangoController
+    from ..core.policy import LowestDelaySelector
+    from ..netsim.trace import PacketFactory
+    from ..resilience.channel import ChannelConfig
+    from ..scenarios.vultr import VultrDeployment
+    from ..trust import install_defense
+
+    deployment = VultrDeployment(
+        include_events=False,
+        auth_key=CAMPAIGN_KEY if defended else b"",
+        telemetry_channel=ChannelConfig(report_interval_s=0.05),
+    )
+    deployment.establish()
+    deployment.start_path_probes(VICTIM, interval_s=config.probe_interval_s)
+    deployment.set_data_policy(
+        VICTIM,
+        LowestDelaySelector(deployment.gateway(VICTIM).outbound, window_s=1.0),
+    )
+    controller_kwargs = {}
+    if defended:
+        stack = install_defense(
+            deployment,
+            VICTIM,
+            CAMPAIGN_KEY,
+            horizon_s=config.telemetry_horizon_s,
+        )
+        controller_kwargs = stack.controller_kwargs()
+    controller = TangoController(
+        deployment.gateway(VICTIM),
+        deployment.sim,
+        interval_s=config.controller_interval_s,
+        staleness_s=config.staleness_s,
+        quarantine=QuarantinePolicy(),
+        **controller_kwargs,
+    )
+    deployment.attach_controller(VICTIM, controller)
+    controller.start()
+
+    peer = deployment.peer_of(VICTIM)
+    factory = PacketFactory(
+        src=str(deployment.pairing.edge(VICTIM).host_address(4)),
+        dst=str(deployment.pairing.edge(peer).host_address(4)),
+        flow_label=9,
+    )
+    send = deployment.sender_for(VICTIM)
+    sent = [0]
+
+    def pump() -> None:
+        sent[0] += 1
+        send(factory.build())
+
+    deployment.sim.call_every(config.data_gap_s, pump)
+    return deployment, controller, sent
+
+
+def _true_delay_models(deployment) -> dict[int, object]:
+    table = deployment.calibrations[VICTIM]
+    return {
+        t.path_id: table[t.short_label].build(deployment.include_events)
+        for t in deployment.tunnels(VICTIM)
+    }
+
+
+def _unusable_windows(adv: AdversarialPlan, horizon_s: float) -> list:
+    """``(path_label, start, end)`` spans where a path delivers nothing.
+
+    A blackholed path is unusable while the blackhole holds.  A
+    gray-lossy path stays unusable through the *end of the run*: the
+    attacker keeps rewriting sequence numbers after the drop window to
+    hide the gap, which under authentication keeps breaking MACs.
+    Rerouting away from these paths is the correct decision, so regret
+    is judged against the best path *outside* these windows.
+    """
+    windows = []
+    for event in adv.plan.events:
+        if event.kind == "link_blackhole":
+            windows.append((str(event.params["path"]), event.at, event.end))
+        elif event.kind == "gray_loss":
+            windows.append((str(event.params["path"]), event.at, horizon_s))
+    return windows
+
+
+def _regret_ms(
+    controller, models, labels, unusable, config: CampaignConfig
+) -> dict:
+    """Per-tick regret of the installed choice vs the best usable path."""
+    samples = []
+    for t, v in zip(controller.choice_trace.times, controller.choice_trace.values):
+        if t < config.warmup_s or int(v) < 0:
+            continue
+        down = {
+            label for label, start, end in unusable if start <= t <= end
+        }
+        delays = {
+            pid: m.delay_at(t)
+            for pid, m in models.items()
+            if labels[pid] not in down
+        }
+        if labels[int(v)] in down:
+            samples.append(config.unusable_penalty_ms)
+        else:
+            samples.append((delays[int(v)] - min(delays.values())) * 1e3)
+    if not samples:
+        return {"median_ms": None, "mean_ms": None, "ticks": 0}
+    return {
+        "median_ms": round(statistics.median(samples), 4),
+        "mean_ms": round(statistics.fmean(samples), 4),
+        "ticks": len(samples),
+    }
+
+
+def _steered_s(controller, favored_id: int, window: tuple[float, float]) -> float:
+    """Longest contiguous stretch of ticks riding ``favored_id`` inside
+    ``window`` — the steering-exposure metric the E17 gate bounds."""
+    interval = controller.interval_s
+    longest = 0.0
+    run_start: Optional[float] = None
+    for t, v in zip(controller.choice_trace.times, controller.choice_trace.values):
+        inside = window[0] <= t <= window[1] and int(v) == favored_id
+        if inside:
+            if run_start is None:
+                run_start = t
+            longest = max(longest, t - run_start + interval)
+        else:
+            run_start = None
+    return round(longest, 4)
+
+
+def _run_variant(adv: AdversarialPlan, defended: bool, config: CampaignConfig) -> dict:
+    from ..faults import FaultInjector, RecoveryLog
+
+    deployment, controller, sent = _build_victim(defended, config)
+    if adv.plan.events:
+        FaultInjector(deployment, adv.plan).arm()
+    deployment.net.run(until=config.horizon_s)
+
+    models = _true_delay_models(deployment)
+    labels = {t.path_id: t.short_label for t in deployment.tunnels(VICTIM)}
+    unusable = _unusable_windows(adv, config.horizon_s)
+    result = _regret_ms(controller, models, labels, unusable, config)
+
+    peer = deployment.peer_of(VICTIM)
+    received = sum(
+        1
+        for p in deployment.hosts[peer].received_packets
+        if p.flow_label == 9
+    )
+    result["availability"] = round(received / sent[0], 4) if sent[0] else None
+
+    if adv.favored is not None:
+        favored_id = next(
+            t.path_id
+            for t in deployment.tunnels(VICTIM)
+            if t.short_label == adv.favored
+        )
+        event = adv.plan.events[0]
+        result["steered_s"] = _steered_s(
+            controller, favored_id, (event.at, event.end + 1.0)
+        )
+
+    mttr = RecoveryLog.build(adv.plan, {VICTIM: controller}).mttr()
+    result["mttr_s"] = None if mttr is None else round(mttr, 4)
+    result["mode_transitions"] = len(controller.mode_log)
+    result["quarantine_events"] = len(controller.quarantine_log)
+
+    if defended:
+        peer_auth = deployment.gateways[peer].authenticator
+        stack = deployment.defenses[VICTIM]
+        result["dataplane_rejected"] = peer_auth.stats.rejected
+        result["dataplane_replayed"] = peer_auth.stats.replayed
+        result["records_forged"] = stack.channel.stats.records_forged
+        result["gate_rejected"] = stack.gate.rejected
+        result["trust_final"] = stack.trust.state
+        result["trust_transitions"] = len(stack.trust.events)
+        result["clock_events"] = len(stack.monitor.events)
+    return result
+
+
+def run_plan(payload: dict, config: CampaignConfig) -> dict:
+    """Worker entry point: one plan, defended and undefended variants.
+
+    Takes the :meth:`AdversarialPlan.to_payload` form so the argument
+    crosses process boundaries as plain data.
+    """
+    adv = AdversarialPlan.from_payload(payload)
+    return {
+        "index": adv.index,
+        "name": adv.plan.name,
+        "archetype": adv.archetype,
+        "favored": adv.favored,
+        "seed": adv.plan.seed,
+        "defended": _run_variant(adv, True, config),
+        "undefended": _run_variant(adv, False, config),
+    }
+
+
+def _worker(args: tuple[dict, CampaignConfig]) -> dict:
+    payload, config = args
+    return run_plan(payload, config)
+
+
+def _baseline(config: CampaignConfig) -> dict:
+    """Fault-free defended run — the regret yardstick."""
+    from ..faults.plan import FaultPlan
+
+    empty = AdversarialPlan(
+        index=-1,
+        archetype="baseline",
+        favored=None,
+        plan=FaultPlan(name="baseline", seed=0, events=()),
+    )
+    return _run_variant(empty, True, config)
+
+
+@dataclass
+class CampaignReport:
+    """Merged campaign results plus the E17 gate verdicts."""
+
+    master_seed: int
+    workers: int
+    config: CampaignConfig
+    baseline: dict
+    results: list[dict]
+    gates: dict
+    failures: list[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> str:
+        """Stable serialization: sorted keys, no wall-clock anywhere —
+        the determinism contract ``cmp`` checks byte-for-byte.  The
+        worker count is deliberately *excluded*: 1-vs-N shards must
+        produce identical bytes."""
+        payload = {
+            "experiment": "E17",
+            "master_seed": self.master_seed,
+            "plans": len(self.results),
+            "config": asdict(self.config),
+            "baseline": self.baseline,
+            "results": self.results,
+            "gates": self.gates,
+            "failures": self.failures,
+            "passed": self.passed,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _apply_gates(
+    results: list[dict], baseline: dict, config: CampaignConfig
+) -> tuple[dict, list[str]]:
+    failures: list[str] = []
+    budget_ms = max(
+        config.regret_factor * (baseline["median_ms"] or 0.0),
+        config.regret_floor_ms,
+    )
+
+    for row in results:
+        name = row["name"]
+        defended = row["defended"]
+        if defended["median_ms"] is None or defended["median_ms"] > budget_ms:
+            failures.append(
+                f"{name}: defended median regret {defended['median_ms']} ms "
+                f"exceeds budget {round(budget_ms, 4)} ms"
+            )
+        if (
+            defended["availability"] is None
+            or defended["availability"] < config.availability_slo
+        ):
+            failures.append(
+                f"{name}: defended availability {defended['availability']} "
+                f"below SLO {config.availability_slo}"
+            )
+        if row["favored"] is not None:
+            steered = defended.get("steered_s", 0.0)
+            if steered > config.telemetry_horizon_s:
+                failures.append(
+                    f"{name}: defended rode tampered-favored path "
+                    f"{steered} s (> {config.telemetry_horizon_s} s horizon)"
+                )
+            floor = (
+                config.min_undefended_steer_horizons * config.telemetry_horizon_s
+            )
+            undefended_steered = row["undefended"].get("steered_s", 0.0)
+            if undefended_steered < floor:
+                failures.append(
+                    f"{name}: undefended only steered {undefended_steered} s "
+                    f"(< {floor} s) — attack not demonstrated"
+                )
+
+    mttrs = [
+        row["defended"]["mttr_s"]
+        for row in results
+        if row["defended"]["mttr_s"] is not None
+    ]
+    mttr_median = round(statistics.median(mttrs), 4) if mttrs else None
+    if mttrs and mttr_median > config.mttr_slo_s:
+        failures.append(
+            f"defended median MTTR {mttr_median} s exceeds SLO "
+            f"{config.mttr_slo_s} s"
+        )
+
+    defended_medians = [
+        row["defended"]["median_ms"]
+        for row in results
+        if row["defended"]["median_ms"] is not None
+    ]
+    gates = {
+        "regret_budget_ms": round(budget_ms, 4),
+        "defended_regret_median_ms": (
+            round(statistics.median(defended_medians), 4)
+            if defended_medians
+            else None
+        ),
+        "mttr_median_s": mttr_median,
+        "mttr_slo_s": config.mttr_slo_s,
+        "availability_slo": config.availability_slo,
+        "steer_horizon_s": config.telemetry_horizon_s,
+    }
+    return gates, failures
+
+
+def run_campaign(
+    count: int,
+    master_seed: int,
+    workers: int = 1,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignReport:
+    """Generate, shard, run, merge, and gate one campaign.
+
+    ``workers=1`` runs in-process; more fork a :mod:`multiprocessing`
+    pool with one plan per task.  Either way the merged report is sorted
+    by plan index and byte-identical for the same ``(count, master_seed,
+    config)``.
+    """
+    config = config or CampaignConfig()
+    population = generate_adversarial_plans(count, master_seed)
+    payloads = [(adv.to_payload(), config) for adv in population]
+    if workers <= 1:
+        results = [_worker(args) for args in payloads]
+    else:
+        import multiprocessing
+
+        with multiprocessing.get_context("fork").Pool(workers) as pool:
+            results = pool.map(_worker, payloads, chunksize=1)
+    results.sort(key=lambda row: row["index"])
+    baseline = _baseline(config)
+    gates, failures = _apply_gates(results, baseline, config)
+    return CampaignReport(
+        master_seed=master_seed,
+        workers=workers,
+        config=config,
+        baseline=baseline,
+        results=results,
+        gates=gates,
+        failures=failures,
+    )

@@ -14,7 +14,11 @@ Eight subcommands, each a self-contained run of one slice of the system:
   arms a deterministic fault plan against the deployment, runs the
   quarantine-enabled controller, and prints the recovery log (identical
   bytes for identical plan + seed); ``faults sample-plan`` prints a
-  template plan.
+  template plan; ``faults campaign --plans N --workers W --seed S`` fans
+  a generated adversarial-plan population across worker processes, runs
+  each plan defended and undefended, and writes the E17-gated
+  ``BENCH_ROBUST.json`` (byte-identical for the same seed, regardless
+  of worker count).
 * ``profile`` — run the standard perf workloads (discovery, session
   resets, fault replay) under the full-scan baseline and the incremental
   engine + snapshot cache, print the speedup table, and write
@@ -132,6 +136,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_sub.add_parser(
         "sample-plan", help="print a template fault plan as JSON"
+    )
+    chaos = faults_sub.add_parser(
+        "campaign",
+        help="multiprocess adversarial chaos campaign gated on the E17 "
+        "SLOs (availability, MTTR, OWD regret, steering exposure)",
+    )
+    chaos.add_argument(
+        "--plans",
+        type=int,
+        default=16,
+        help="population size (archetypes interleave; default 16)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 runs in-process; the merged report is "
+        "byte-identical either way)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=2026, help="campaign master seed"
+    )
+    chaos.add_argument(
+        "--out",
+        default="BENCH_ROBUST.json",
+        help="report path (default BENCH_ROBUST.json)",
     )
 
     profile = sub.add_parser(
@@ -537,6 +567,38 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults_campaign(args: argparse.Namespace) -> int:
+    from .campaign import run_campaign
+
+    if args.plans < 1:
+        print("tango-repro: --plans must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("tango-repro: --workers must be >= 1", file=sys.stderr)
+        return 2
+    report = run_campaign(args.plans, args.seed, workers=args.workers)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    gates = report.gates
+    print(
+        f"E17 chaos campaign: {len(report.results)} plans, "
+        f"seed {report.master_seed}, {report.workers} worker(s)"
+    )
+    print(
+        f"  defended regret median {gates['defended_regret_median_ms']} ms "
+        f"(budget {gates['regret_budget_ms']} ms), "
+        f"mttr median {gates['mttr_median_s']} s "
+        f"(slo {gates['mttr_slo_s']} s)"
+    )
+    for failure in report.failures:
+        print(f"  GATE FAIL: {failure}")
+    print(f"wrote {args.out}")
+    if not report.passed:
+        return 1
+    print("all E17 gates passed")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from .profiling.bench import DISCOVERY_MIN_SPEEDUP, run_perf_suite
     from .profiling.core import Profiler
@@ -679,6 +741,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_faults_run(args)
         if args.faults_command == "sample-plan":
             return cmd_faults_sample_plan()
+        if args.faults_command == "campaign":
+            return cmd_faults_campaign(args)
         raise AssertionError(f"unhandled faults command {args.faults_command!r}")
     raise AssertionError(f"unhandled command {args.command!r}")
 

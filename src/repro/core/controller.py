@@ -62,6 +62,7 @@ from .policy import GuardedSelector, MeasuredSelector
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..profiling.core import Profiler
     from ..resilience.journal import ControllerJournal
+    from ..trust.policy import PeerTrustMonitor
 
 __all__ = [
     "TunnelHealth",
@@ -171,6 +172,11 @@ class TangoController:
             re-derives data-plane split weights from fresh telemetry
             (see :class:`repro.traffic.splitting.SplitRebalancer`);
             None keeps single-path selection untouched.
+        trust: peer-trust monitor (see :mod:`repro.trust.policy`) polled
+            every tick; while the peer feed is distrusted the controller
+            forces degraded local-RTT selection regardless of staleness.
+            Requires ``degraded`` — distrust demotion needs a fallback
+            estimate store to route on.
     """
 
     def __init__(
@@ -184,9 +190,15 @@ class TangoController:
         degraded: Optional[DegradedModeConfig] = None,
         journal: Optional["ControllerJournal"] = None,
         rebalancer: Optional[Callable[[float], None]] = None,
+        trust: Optional["PeerTrustMonitor"] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
+        if trust is not None and degraded is None:
+            raise ValueError(
+                "trust demotion needs a degraded config: a distrusted peer "
+                "feed leaves nothing to route on without local RTT fallback"
+            )
         self.gateway = gateway
         self.sim = sim
         self.interval_s = interval_s
@@ -214,6 +226,7 @@ class TangoController:
         self.degraded = degraded
         self.journal = journal
         self.rebalancer = rebalancer
+        self.trust = trust
         #: Estimation source currently in use: cooperative | degraded.
         self.mode = MODE_COOPERATIVE
         #: Every downgrade/upgrade, in tick order (cumulative trace).
@@ -310,6 +323,9 @@ class TangoController:
         if self.journal is not None and recorded != self._last_logged_choice:
             self._last_logged_choice = recorded
             self.journal.record("choice", now, path_id=int(recorded))
+        if self.trust is not None:
+            if self.trust.poll(now) and self.journal is not None:
+                self.journal.record("trust", now, state=self.trust.state)
         needs_health = (
             self.on_stale is not None
             or self.quarantine_policy is not None
@@ -372,6 +388,14 @@ class TangoController:
     def _degraded_tick(self, healths: list[TunnelHealth], now: float) -> None:
         config = self.degraded
         staleness = self._peer_staleness(healths)
+        if self.trust is not None and self.trust.distrusted:
+            # A distrusted peer feed is worse than a stale one: force the
+            # local-RTT fallback and suppress healing until the trust
+            # machine readmits the peer (probation or better).
+            if self.mode == MODE_COOPERATIVE:
+                self._set_mode(MODE_DEGRADED, now, staleness)
+            self._heal_streak = 0
+            return
         if self.mode == MODE_COOPERATIVE:
             if staleness is not None and staleness > config.horizon_s:
                 self._set_mode(MODE_DEGRADED, now, staleness)

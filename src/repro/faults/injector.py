@@ -29,6 +29,7 @@ from ..bgp.messages import as_prefix
 from ..bgp.snapshot import SnapshotCache
 from ..netsim.delaymodels import AsymmetryEvent, overlay
 from ..netsim.links import ConstantLoss, Link, LossModel, OverrideLoss
+from .adversary import AdversaryChain, GrayLoss, TelemetryReplay, TelemetryTamper
 from .plan import FaultEvent, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -144,6 +145,40 @@ class FaultInjector:
             ),
         )
 
+    # -- Byzantine-peer faults: on-path interceptor stages --------------------------
+
+    def _arm_telemetry_tamper(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        AdversaryChain.install_on(link).add(
+            TelemetryTamper(
+                start=event.at,
+                end=event.end,
+                bias_s=float(event.params["bias_ms"]) * 1e-3,
+            )
+        )
+
+    def _arm_telemetry_replay(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        AdversaryChain.install_on(link).add(
+            TelemetryReplay(
+                start=event.at,
+                end=event.end,
+                delay_s=float(event.params["delay_s"]),
+                every=int(event.params.get("every", 2)),
+            )
+        )
+
+    def _arm_gray_loss(self, event: FaultEvent, index: int) -> None:
+        link = self._link(event)
+        AdversaryChain.install_on(link).add(
+            GrayLoss(
+                start=event.at,
+                end=event.end,
+                rate=float(event.params["rate"]),
+                seed=_mix(self.plan.seed, index),
+            )
+        )
+
     # -- control-plane faults: scheduled callbacks ---------------------------------
 
     def _arm_bgp_session_down(self, event: FaultEvent, index: int) -> None:
@@ -248,6 +283,36 @@ class FaultInjector:
         sim.schedule_at(event.at, apply)
         if event.duration > 0:
             sim.schedule_at(event.end, revert)
+
+    def _arm_clock_drift(self, event: FaultEvent, index: int) -> None:
+        """Oscillator misbehaviour: ppm drift, with an optional step.
+
+        Onset bends the edge's wall clock (continuity preserved by
+        :meth:`~repro.netsim.simclock.NodeClock.set_drift`); the optional
+        ``step_ms`` adds a discontinuous jump at onset.  A positive
+        duration ends the drift at ``event.end`` but the accumulated
+        offset error *remains* — exactly the residual the
+        ClockIntegrityMonitor has to re-estimate away.
+        """
+        deployment = self.deployment
+        sim = deployment.sim
+        clock = deployment.switches[str(event.params["edge"])].clock
+        ppm = float(event.params["ppm"])
+        step_s = float(event.params.get("step_ms", 0.0)) * 1e-3
+        saved: dict[str, float] = {}
+
+        def onset() -> None:
+            saved["ppm"] = clock.drift_ppm
+            clock.set_drift(ppm, at=sim.now)
+            if step_s:
+                clock.step(step_s)
+
+        def settle() -> None:
+            clock.set_drift(saved["ppm"], at=sim.now)
+
+        sim.schedule_at(event.at, onset)
+        if event.duration > 0:
+            sim.schedule_at(event.end, settle)
 
     def _arm_demand_surge(self, event: FaultEvent, index: int) -> None:
         """Multiply offered demand at an edge during the fault window.

@@ -28,6 +28,11 @@ _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "clock_step": ("edge", "step_ms"),
     "controller_crash": ("edge",),
     "demand_surge": ("edge", "factor"),
+    # Byzantine-peer kinds: an on-path adversary or a misbehaving clock.
+    "telemetry_tamper": ("src", "path", "bias_ms"),
+    "telemetry_replay": ("src", "path", "delay_s"),
+    "gray_loss": ("src", "path", "rate"),
+    "clock_drift": ("edge", "ppm"),
 }
 
 FAULT_KINDS = frozenset(_REQUIRED_PARAMS)
@@ -45,6 +50,9 @@ _NEEDS_DURATION = frozenset(
         "telemetry_drop",
         "telemetry_loss",
         "demand_surge",
+        "telemetry_tamper",
+        "telemetry_replay",
+        "gray_loss",
     }
 )
 
@@ -172,9 +180,15 @@ class FaultPlan:
             except KeyError as exc:
                 raise ValueError(f"event #{i} missing field {exc}") from None
             duration = float(entry.pop("duration", 0.0))
-            events.append(
-                FaultEvent(kind=kind, at=at, duration=duration, params=entry)
-            )
+            try:
+                events.append(
+                    FaultEvent(kind=kind, at=at, duration=duration, params=entry)
+                )
+            except ValueError as exc:
+                # FaultEvent's own validation knows nothing about list
+                # position; re-raise with the index so a 40-event plan's
+                # author learns *which* event is malformed.
+                raise ValueError(f"event #{i}: {exc}") from None
         return cls(
             name=str(payload.get("name", "unnamed")),
             seed=int(payload.get("seed", 0)),

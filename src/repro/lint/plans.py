@@ -223,6 +223,46 @@ def check_fault_plan(
             else:
                 if factor <= 0:
                     bad(index, f"demand_surge factor must be > 0, got {factor:g}")
+        if event.kind == "telemetry_tamper":
+            try:
+                bias = float(params["bias_ms"])
+            except (TypeError, ValueError):
+                bad(index, f"telemetry_tamper bias_ms {params['bias_ms']!r} is not a number")
+            else:
+                if bias == 0:
+                    bad(index, "telemetry_tamper bias_ms must be nonzero")
+        if event.kind == "telemetry_replay":
+            try:
+                delay = float(params["delay_s"])
+            except (TypeError, ValueError):
+                bad(index, f"telemetry_replay delay_s {params['delay_s']!r} is not a number")
+            else:
+                if delay <= 0:
+                    bad(index, f"telemetry_replay delay_s must be > 0, got {delay:g}")
+        if event.kind == "gray_loss":
+            try:
+                rate = float(params["rate"])
+            except (TypeError, ValueError):
+                bad(index, f"gray_loss rate {params['rate']!r} is not a number")
+            else:
+                if not 0.0 < rate <= 1.0:
+                    bad(index, f"gray_loss rate must be in (0, 1], got {rate:g}")
+        if event.kind == "clock_drift":
+            from ..trust.clock import ClockIntegrityMonitor
+
+            try:
+                ppm = float(params["ppm"])
+            except (TypeError, ValueError):
+                bad(index, f"clock_drift ppm {params['ppm']!r} is not a number")
+            else:
+                bound = ClockIntegrityMonitor.MAX_TRACKABLE_PPM
+                if abs(ppm) > bound:
+                    bad(
+                        index,
+                        f"clock_drift ppm {ppm:g} exceeds the clock-integrity "
+                        f"monitor's re-estimation bound (|ppm| <= {bound:g}); "
+                        "the defended controller cannot track it",
+                    )
         if event.kind == "bgp_session_down":
             a, b = str(params["a"]), str(params["b"])
             for router in (a, b):

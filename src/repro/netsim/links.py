@@ -29,9 +29,35 @@ __all__ = [
     "ConstantLoss",
     "WindowedLoss",
     "OverrideLoss",
+    "PacketInterceptor",
     "Link",
     "LinkStats",
 ]
+
+
+class PacketInterceptor:
+    """In-flight packet manipulation hook — the on-path attacker's seat.
+
+    Installed on a :class:`Link`, an interceptor sees every packet that
+    survives the loss draw, *before* the delay sample.  It may return the
+    packet (possibly mutated), return ``None`` to silently consume it
+    (a drop no loss ledger attributes), and/or call ``inject`` to place
+    additional packets onto the link (replay).  Injected packets take
+    their own delay sample but bypass loss and interception — they are
+    already "past" the attacker.
+
+    Implementations must be deterministic functions of (packet, time,
+    internal counters); wall-clock or unseeded randomness would break
+    campaign replay.
+    """
+
+    def process(
+        self,
+        packet: Packet,
+        now: float,
+        inject: Callable[[Packet], None],
+    ) -> Optional[Packet]:
+        raise NotImplementedError
 
 
 class LossModel:
@@ -189,6 +215,8 @@ class LinkStats:
     delivered: int = 0
     dropped_loss: int = 0
     dropped_mtu: int = 0
+    dropped_intercept: int = 0
+    injected: int = 0
     bytes_delivered: int = 0
 
     @property
@@ -240,6 +268,7 @@ class Link:
         self.seed = seed
         self.stats = LinkStats()
         self._drop_hook: Optional[Callable[[Packet, str], None]] = None
+        self.interceptor: Optional[PacketInterceptor] = None
 
     def on_drop(self, hook: Callable[[Packet, str], None]) -> None:
         """Register a callback invoked as ``hook(packet, reason)`` on drops."""
@@ -263,11 +292,32 @@ class Link:
             self.stats.dropped_loss += 1
             self._notify_drop(packet, "loss")
             return False
+        if self.interceptor is not None:
+            maybe = self.interceptor.process(
+                packet, now, lambda extra: self._inject(sim, extra)
+            )
+            if maybe is None:
+                self.stats.dropped_intercept += 1
+                self._notify_drop(packet, "intercept")
+                return False
+            packet = maybe
         latency = self.delay.delay_at(now)
         if self.bandwidth_bps is not None:
             latency += packet.wire_bytes * 8.0 / self.bandwidth_bps
         sim.schedule_in(latency, lambda: self._deliver(packet))
         return True
+
+    def _inject(self, sim: "Simulator", packet: Packet) -> None:
+        """Place an interceptor-originated packet onto the link.
+
+        Bypasses loss and interception (the attacker does not attack its
+        own packets) but takes a fresh delay sample at the current time.
+        """
+        self.stats.injected += 1
+        latency = self.delay.delay_at(sim.now)
+        if self.bandwidth_bps is not None:
+            latency += packet.wire_bytes * 8.0 / self.bandwidth_bps
+        sim.schedule_in(latency, lambda: self._deliver(packet))
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1

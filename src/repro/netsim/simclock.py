@@ -95,3 +95,20 @@ class NodeClock:
         the precision of the real data plane.
         """
         return round(self.now() * 1e9)
+
+    def set_drift(self, drift_ppm: float, at: float) -> None:
+        """Change the oscillator's frequency error at simulation time ``at``.
+
+        The drift accumulated so far is folded into ``offset`` and the
+        drift epoch is reset, so the wall-clock reading is continuous at
+        the change point — an oscillator retrained by a thermal event does
+        not step, it *bends*.  Step changes are a separate operation
+        (:meth:`step`).
+        """
+        self.offset += (at - self._epoch) * (self.drift_ppm * 1e-6)
+        self._epoch = at
+        self.drift_ppm = drift_ppm
+
+    def step(self, seconds: float) -> None:
+        """Discontinuous jump of the wall clock (e.g. an NTP slam)."""
+        self.offset += seconds

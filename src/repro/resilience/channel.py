@@ -68,12 +68,23 @@ def _uniform(seed: int, index: int) -> float:
 
 @dataclass(frozen=True)
 class TelemetryRecord:
-    """One mirrored sample in flight: (seq, path, sample time, value)."""
+    """One mirrored sample in flight: (seq, path, sample time, value).
+
+    ``tag`` carries the truncated MAC over (sample time, seq, path) when
+    the channel authenticates its reports — the same protection the Tango
+    header gives piggybacked telemetry, extended to the report frames.
+    """
 
     seq: int
     path_id: int
     t: float
     value: float
+    tag: Optional[bytes] = None
+
+    @property
+    def t_ns(self) -> int:
+        """Sample time quantized to nanoseconds — the MAC'd field."""
+        return round(self.t * 1e9)
 
 
 @dataclass(frozen=True)
@@ -150,6 +161,8 @@ class ChannelStats:
     acks_lost: int = 0
     queue_drops: int = 0
     samples_discarded: int = 0
+    records_forged: int = 0
+    records_rejected: int = 0
 
 
 @dataclass(frozen=True)
@@ -195,6 +208,14 @@ class ReliableTelemetryChannel:
         config: transport knobs.
         seed: deterministic draw stream for loss and jitter.
         name: label used in diagnostics.
+        authenticator: when set, every record is MAC-tagged at framing
+            and verified (incl. replay-window check) before delivery;
+            failures are acked (the transport made its best effort) but
+            counted in ``stats.records_forged`` and never reach the sink.
+        gate: optional plausibility filter (duck-typed: anything with
+            ``admit(path_id, t, value, now) -> bool``); records it
+            rejects are counted in ``stats.records_rejected`` and
+            withheld from the sink.
     """
 
     def __init__(
@@ -205,6 +226,8 @@ class ReliableTelemetryChannel:
         config: ChannelConfig = ChannelConfig(),
         seed: int = 0,
         name: str = "telemetry-channel",
+        authenticator=None,
+        gate=None,
     ) -> None:
         self.source = source
         self.sink = sink
@@ -212,6 +235,8 @@ class ReliableTelemetryChannel:
         self.config = config
         self.seed = seed
         self.name = name
+        self.authenticator = authenticator
+        self.gate = gate
         self.stats = ChannelStats()
         self.task: Optional[PeriodicTask] = None
         # sender side
@@ -325,6 +350,14 @@ class ReliableTelemetryChannel:
         while self._queue and len(self._pending) < self.config.window_records:
             path_id, t, value = self._queue.popleft()
             record = TelemetryRecord(self._next_seq, path_id, t, value)
+            if self.authenticator is not None:
+                record = TelemetryRecord(
+                    record.seq,
+                    path_id,
+                    t,
+                    value,
+                    tag=self.authenticator.tag(record.t_ns, record.seq, path_id),
+                )
             self._next_seq += 1
             self._pending[record.seq] = _Pending(record, attempts=0, deadline=now)
             self.stats.records_sent += 1
@@ -376,6 +409,16 @@ class ReliableTelemetryChannel:
         self._send_ack()
 
     def _deliver(self, record: TelemetryRecord) -> None:
+        if self.authenticator is not None and not self.authenticator.verify(
+            record.t_ns, record.seq, record.path_id, record.tag
+        ):
+            self.stats.records_forged += 1
+            return
+        if self.gate is not None and not self.gate.admit(
+            record.path_id, record.t, record.value, self.sim.now
+        ):
+            self.stats.records_rejected += 1
+            return
         self.sink.record(record.path_id, record.t, record.value)
         self.stats.records_delivered += 1
         self._last_delivered_sample_t = record.t

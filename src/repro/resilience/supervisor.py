@@ -34,6 +34,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["SupervisorPolicy", "SupervisorEvent", "Supervisor"]
 
 
+def _uniform(seed: int, index: int) -> float:
+    """Counter-based uniform in [0, 1): splitmix64 of (seed, index).
+
+    Same construction as the fault injector's draws — a pure function of
+    its arguments, so a supervisor replays the identical jitter schedule
+    for the same seed regardless of event interleaving.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + index) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
+
+
 @dataclass(frozen=True)
 class SupervisorPolicy:
     """Detection and restart tuning.
@@ -46,6 +60,11 @@ class SupervisorPolicy:
         backoff_factor: multiplier per successive crash.
         max_restart_delay_s: backoff ceiling.
         healthy_after_s: uptime that resets the backoff to its base.
+        jitter_frac: deterministic jitter added to each restart delay,
+            as a fraction of it — decorrelates simultaneous restarts of
+            both edges' controllers without sacrificing replayability
+            (the draw is a pure function of the supervisor's seed and
+            its crash count, never of wall clock).
     """
 
     check_interval_s: float = 0.5
@@ -53,6 +72,7 @@ class SupervisorPolicy:
     backoff_factor: float = 2.0
     max_restart_delay_s: float = 5.0
     healthy_after_s: float = 10.0
+    jitter_frac: float = 0.0
 
     def __post_init__(self) -> None:
         if self.check_interval_s <= 0:
@@ -86,6 +106,9 @@ class Supervisor:
         journal: the controller's journal; ``None`` restarts cold (the
             PR 1 behavior — runtime state reset, traces kept).
         policy: detection/backoff tuning.
+        seed: jitter stream identity; two supervisors with different
+            seeds (e.g. one per edge) decorrelate even when their
+            controllers crash at the same instant.
     """
 
     def __init__(
@@ -94,13 +117,16 @@ class Supervisor:
         sim: Simulator,
         journal: Optional["ControllerJournal"] = None,
         policy: SupervisorPolicy = SupervisorPolicy(),
+        seed: int = 0,
     ) -> None:
         self.controller = controller
         self.sim = sim
         self.journal = journal
         self.policy = policy
+        self.seed = seed
         self.events: list[SupervisorEvent] = []
         self.restarts = 0
+        self._crashes = 0
         self._task: Optional[PeriodicTask] = None
         self._last_ticks = controller.ticks
         self._delay_s = policy.restart_delay_s
@@ -140,8 +166,14 @@ class Supervisor:
                 )
             return
         delay = self._delay_s
+        if self.policy.jitter_frac > 0.0:
+            delay += delay * self.policy.jitter_frac * _uniform(
+                self.seed, self._crashes
+            )
+        self._crashes += 1
         self._delay_s = min(
-            delay * self.policy.backoff_factor, self.policy.max_restart_delay_s
+            self._delay_s * self.policy.backoff_factor,
+            self.policy.max_restart_delay_s,
         )
         self._restart_pending = True
         self.events.append(

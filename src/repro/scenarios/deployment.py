@@ -120,6 +120,9 @@ class PacketLevelDeployment:
         #: fault and the supervisor both resolve controllers here).
         self.controllers: dict[str, object] = {}
         self.supervisors: dict[str, Supervisor] = {}
+        #: edge name -> armed DefenseStack (see repro.trust.stack); the
+        #: chaos campaign and reports resolve defenses here.
+        self.defenses: dict[str, object] = {}
         #: edge name -> attached fluid traffic engine (the demand_surge
         #: fault resolves engines here; see repro.traffic.fluid).
         self.traffic_engines: dict[str, object] = {}
@@ -319,16 +322,23 @@ class PacketLevelDeployment:
         edge_name: str,
         journal: Optional[ControllerJournal] = None,
         policy: SupervisorPolicy = SupervisorPolicy(),
+        seed: Optional[int] = None,
     ) -> Supervisor:
         """Start a supervisor over ``edge_name``'s attached controller.
 
         With a journal, restarts are warm (checkpoint + WAL replay);
         without, they are cold.  The supervisor is returned and kept in
-        :attr:`supervisors`.
+        :attr:`supervisors`.  ``seed`` feeds the restart-jitter stream;
+        by default each edge gets a distinct seed from its pairing index
+        so simultaneous crashes at both edges decorrelate.
         """
         controller = self.controller_for(edge_name)
+        if seed is None:
+            seed = 41 + [e.name for e in (self.pairing.a, self.pairing.b)].index(
+                edge_name
+            )
         supervisor = Supervisor(
-            controller, self.sim, journal=journal, policy=policy
+            controller, self.sim, journal=journal, policy=policy, seed=seed
         )
         supervisor.start()
         self.supervisors[edge_name] = supervisor

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import struct
+from collections import OrderedDict
 from typing import Optional
 
 __all__ = ["TelemetryAuthenticator", "ForgeryStats"]
@@ -33,9 +34,13 @@ class ForgeryStats:
     def __init__(self) -> None:
         self.verified = 0
         self.rejected = 0
+        self.replayed = 0
 
     def __repr__(self) -> str:
-        return f"ForgeryStats(verified={self.verified}, rejected={self.rejected})"
+        return (
+            f"ForgeryStats(verified={self.verified}, "
+            f"rejected={self.rejected}, replayed={self.replayed})"
+        )
 
 
 class TelemetryAuthenticator:
@@ -44,10 +49,20 @@ class TelemetryAuthenticator:
     Both ends of a pairing construct one with the same key (established
     out of band — the edges already cooperate by configuration).
 
-    Replay note: the per-tunnel sequence number is part of the MAC, so a
-    captured packet replayed later either duplicates a sequence number
-    (flagged by the tracker) or fails verification.
+    Replay note: the sequence number is part of the MAC, so a captured
+    packet replayed later carries a *valid* tag — the MAC alone cannot
+    tell a replay from the original.  The verifier therefore keeps a
+    bounded per-path window of recently accepted ``(timestamp, seq)``
+    pairs and rejects duplicates (counted separately in
+    :attr:`ForgeryStats.replayed`), which is exactly the sequence-number
+    replay protection the paper sketches.
     """
+
+    #: Accepted (timestamp, seq) pairs remembered per path.  Bounded so a
+    #: switch implementation is a small per-tunnel register file, not an
+    #: unbounded table; older-than-window replays are instead caught by the
+    #: plausibility layer's timestamp-age check.
+    REPLAY_WINDOW = 4096
 
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
@@ -57,6 +72,7 @@ class TelemetryAuthenticator:
             )
         self._key = key
         self.stats = ForgeryStats()
+        self._seen: dict[int, "OrderedDict[tuple[int, int], None]"] = {}
 
     def tag(self, timestamp_ns: int, seq: int, path_id: int) -> bytes:
         """Compute the truncated MAC for a header's telemetry fields."""
@@ -66,14 +82,27 @@ class TelemetryAuthenticator:
     def verify(
         self, timestamp_ns: int, seq: int, path_id: int, tag: Optional[bytes]
     ) -> bool:
-        """Constant-time verification; missing tags fail closed."""
+        """Constant-time MAC check plus duplicate rejection; fails closed.
+
+        A missing tag or MAC mismatch counts as ``rejected``; a valid tag
+        whose ``(timestamp, seq)`` was already accepted on this path
+        counts as ``replayed``.  Both return False.
+        """
         if tag is None:
             self.stats.rejected += 1
             return False
         expected = self.tag(timestamp_ns, seq, path_id)
         ok = hmac.compare_digest(expected, tag)
-        if ok:
-            self.stats.verified += 1
-        else:
+        if not ok:
             self.stats.rejected += 1
-        return ok
+            return False
+        window = self._seen.setdefault(path_id, OrderedDict())
+        key = (timestamp_ns, seq)
+        if key in window:
+            self.stats.replayed += 1
+            return False
+        window[key] = None
+        while len(window) > self.REPLAY_WINDOW:
+            window.popitem(last=False)
+        self.stats.verified += 1
+        return True

@@ -1,0 +1,48 @@
+"""Byzantine-peer defense: authenticate, sanity-check, and rate the feed.
+
+The cooperative loop is Tango's attack surface (paper Section 6): the
+controller routes on measurements its *peer* reports.  This package adds
+the layers that let it keep routing when those reports are forged,
+replayed, implausible, or distorted by a misbehaving clock:
+
+* :mod:`repro.trust.plausibility` — cross-check every mirrored sample
+  against the local RTT envelope and timestamp continuity before it
+  reaches the policy store;
+* :mod:`repro.trust.clock` — robust regression over OWD residuals that
+  detects offset drift and steps, and re-estimates the offset so a
+  drifting peer clock does not read as a lying peer;
+* :mod:`repro.trust.policy` — the trusted → suspect → distrusted state
+  machine (hysteresis + probation, mirroring
+  :class:`~repro.core.controller.QuarantinePolicy`) that demotes the
+  selector to degraded local-RTT mode while the peer feed is distrusted;
+* :mod:`repro.trust.stack` — one-call assembly of the full defense for a
+  deployment edge.
+"""
+
+from .clock import ClockEvent, ClockIntegrityMonitor
+from .plausibility import PlausibilityFilter
+from .policy import (
+    TRUST_DISTRUSTED,
+    TRUST_PROBATION,
+    TRUST_SUSPECT,
+    TRUST_TRUSTED,
+    PeerTrustMonitor,
+    PeerTrustPolicy,
+    TrustEvent,
+)
+from .stack import DefenseStack, install_defense
+
+__all__ = [
+    "ClockEvent",
+    "ClockIntegrityMonitor",
+    "PlausibilityFilter",
+    "PeerTrustMonitor",
+    "PeerTrustPolicy",
+    "TrustEvent",
+    "TRUST_TRUSTED",
+    "TRUST_SUSPECT",
+    "TRUST_DISTRUSTED",
+    "TRUST_PROBATION",
+    "DefenseStack",
+    "install_defense",
+]

@@ -1,0 +1,234 @@
+"""Campaign runner: metric units, shard-merge determinism, E17 gating."""
+
+import json
+
+import pytest
+
+from repro.campaign.plans import AdversarialPlan, generate_adversarial_plans
+from repro.campaign.runner import (
+    CampaignConfig,
+    _apply_gates,
+    _regret_ms,
+    _steered_s,
+    _unusable_windows,
+    run_campaign,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.telemetry.store import TimeSeries
+
+
+class FakeController:
+    def __init__(self, choices, interval_s=0.1):
+        self.interval_s = interval_s
+        self.choice_trace = TimeSeries()
+        for t, v in choices:
+            self.choice_trace.append(t, float(v))
+
+
+class FlatModel:
+    def __init__(self, delay_s):
+        self._delay = delay_s
+
+    def delay_at(self, t):
+        return self._delay
+
+
+def adv_for(events, archetype="favored_tamper", favored=None):
+    return AdversarialPlan(
+        index=0,
+        archetype=archetype,
+        favored=favored,
+        plan=FaultPlan(name="t", seed=1, events=tuple(events)),
+    )
+
+
+class TestUnusableWindows:
+    def test_blackhole_bounded_gray_loss_open_ended(self):
+        adv = adv_for(
+            [
+                FaultEvent(
+                    "link_blackhole",
+                    at=3.0,
+                    duration=2.0,
+                    params={"src": "ny", "path": "GTT"},
+                ),
+                FaultEvent(
+                    "gray_loss",
+                    at=4.0,
+                    duration=2.0,
+                    params={"src": "ny", "path": "Telia", "rate": 0.3},
+                ),
+            ],
+            archetype="blackhole",
+        )
+        windows = _unusable_windows(adv, horizon_s=14.0)
+        assert ("GTT", 3.0, 5.0) in windows
+        assert ("Telia", 4.0, 14.0) in windows
+
+    def test_tamper_does_not_mark_unusable(self):
+        adv = adv_for(
+            [
+                FaultEvent(
+                    "telemetry_tamper",
+                    at=3.0,
+                    duration=2.0,
+                    params={"src": "ny", "path": "NTT", "bias_ms": 12.0},
+                )
+            ]
+        )
+        assert _unusable_windows(adv, 14.0) == []
+
+
+class TestRegret:
+    MODELS = {0: FlatModel(0.036), 1: FlatModel(0.032), 2: FlatModel(0.028)}
+    LABELS = {0: "NTT", 1: "Telia", 2: "GTT"}
+
+    def test_best_path_has_zero_regret(self):
+        controller = FakeController([(2.0, 2), (3.0, 2)])
+        out = _regret_ms(
+            controller, self.MODELS, self.LABELS, [], CampaignConfig()
+        )
+        assert out["median_ms"] == 0.0
+        assert out["ticks"] == 2
+
+    def test_worse_path_charged_the_gap(self):
+        controller = FakeController([(2.0, 1)])
+        out = _regret_ms(
+            controller, self.MODELS, self.LABELS, [], CampaignConfig()
+        )
+        assert out["median_ms"] == pytest.approx(4.0)
+
+    def test_warmup_and_no_choice_skipped(self):
+        config = CampaignConfig()
+        controller = FakeController([(0.5, 1), (2.0, -1)])
+        out = _regret_ms(controller, self.MODELS, self.LABELS, [], config)
+        assert out["ticks"] == 0
+        assert out["median_ms"] is None
+
+    def test_rerouting_off_unusable_path_is_not_regret(self):
+        """While GTT is blackholed, riding Telia is optimal — zero
+        regret; riding the dead path itself draws the penalty."""
+        config = CampaignConfig()
+        unusable = [("GTT", 3.0, 6.0)]
+        on_telia = FakeController([(4.0, 1)])
+        out = _regret_ms(on_telia, self.MODELS, self.LABELS, unusable, config)
+        assert out["median_ms"] == 0.0
+        on_dead = FakeController([(4.0, 2)])
+        out = _regret_ms(on_dead, self.MODELS, self.LABELS, unusable, config)
+        assert out["median_ms"] == config.unusable_penalty_ms
+
+
+class TestSteered:
+    def test_longest_contiguous_run(self):
+        choices = [(3.0, 0), (3.1, 0), (3.2, 2), (3.3, 0), (3.4, 0), (3.5, 0)]
+        controller = FakeController(choices)
+        assert _steered_s(controller, 0, (3.0, 4.0)) == pytest.approx(0.3)
+
+    def test_outside_window_ignored(self):
+        controller = FakeController([(1.0, 0), (1.1, 0)])
+        assert _steered_s(controller, 0, (3.0, 4.0)) == 0.0
+
+
+class TestGates:
+    BASELINE = {"median_ms": 0.0, "availability": 0.997}
+
+    def row(self, **overrides):
+        row = {
+            "index": 0,
+            "name": "adv-000-favored_tamper",
+            "archetype": "favored_tamper",
+            "favored": "NTT",
+            "defended": {
+                "median_ms": 0.0,
+                "availability": 0.99,
+                "steered_s": 0.0,
+                "mttr_s": None,
+            },
+            "undefended": {"median_ms": 5.0, "steered_s": 4.0},
+        }
+        for key, value in overrides.items():
+            section, _, field = key.partition("__")
+            row[section][field] = value
+        return row
+
+    def test_clean_row_passes(self):
+        gates, failures = _apply_gates(
+            [self.row()], self.BASELINE, CampaignConfig()
+        )
+        assert failures == []
+        assert gates["regret_budget_ms"] == 1.0  # the noise floor
+
+    def test_regret_breach_fails(self):
+        _, failures = _apply_gates(
+            [self.row(defended__median_ms=3.0)],
+            self.BASELINE,
+            CampaignConfig(),
+        )
+        assert any("regret" in f for f in failures)
+
+    def test_defended_steering_breach_fails(self):
+        _, failures = _apply_gates(
+            [self.row(defended__steered_s=1.5)],
+            self.BASELINE,
+            CampaignConfig(),
+        )
+        assert any("tampered-favored" in f for f in failures)
+
+    def test_undemonstrated_attack_fails(self):
+        _, failures = _apply_gates(
+            [self.row(undefended__steered_s=0.5)],
+            self.BASELINE,
+            CampaignConfig(),
+        )
+        assert any("not demonstrated" in f for f in failures)
+
+    def test_availability_breach_fails(self):
+        _, failures = _apply_gates(
+            [self.row(defended__availability=0.5)],
+            self.BASELINE,
+            CampaignConfig(),
+        )
+        assert any("availability" in f for f in failures)
+
+    def test_mttr_breach_fails(self):
+        _, failures = _apply_gates(
+            [self.row(defended__mttr_s=5.0)], self.BASELINE, CampaignConfig()
+        )
+        assert any("MTTR" in f for f in failures)
+
+
+class TestEndToEnd:
+    """One small real campaign, sharded two ways — the expensive part of
+    this module (two tamper/replay pairs plus baselines)."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        one = run_campaign(2, master_seed=2026, workers=1)
+        two = run_campaign(2, master_seed=2026, workers=2)
+        return one, two
+
+    def test_gates_pass(self, reports):
+        one, _ = reports
+        assert one.failures == []
+        assert one.passed
+
+    def test_shard_merge_byte_identical(self, reports):
+        one, two = reports
+        assert one.to_json() == two.to_json()
+
+    def test_report_is_stable_json(self, reports):
+        one, _ = reports
+        payload = json.loads(one.to_json())
+        assert payload["experiment"] == "E17"
+        assert payload["plans"] == 2
+        assert [row["index"] for row in payload["results"]] == [0, 1]
+        # No wall-clock anywhere: serializing twice is identical.
+        assert one.to_json() == one.to_json()
+
+    def test_defended_row_carries_defense_counters(self, reports):
+        one, _ = reports
+        tamper = one.results[0]
+        assert tamper["archetype"] == "favored_tamper"
+        assert tamper["defended"]["dataplane_rejected"] > 0
+        assert tamper["defended"]["steered_s"] <= 1.0
+        assert tamper["undefended"]["steered_s"] >= 3.0

@@ -18,7 +18,11 @@ class TestFaultEvent:
         assert "telemetry_loss" in FAULT_KINDS
         assert "controller_crash" in FAULT_KINDS
         assert "demand_surge" in FAULT_KINDS
-        assert len(FAULT_KINDS) == 11
+        assert "telemetry_tamper" in FAULT_KINDS
+        assert "telemetry_replay" in FAULT_KINDS
+        assert "gray_loss" in FAULT_KINDS
+        assert "clock_drift" in FAULT_KINDS
+        assert len(FAULT_KINDS) == 15
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown fault kind"):

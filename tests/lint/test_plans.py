@@ -119,6 +119,83 @@ class TestCheckFaultPlan:
         assert "plan 'test-plan' event #0" in findings[0].message
 
 
+class TestAdversarialKinds:
+    """TNG105 fixtures for the Byzantine-peer fault kinds."""
+
+    def setup_method(self):
+        self.spec = vultr_spec()
+
+    def adversarial(self, kind, **params):
+        defaults = {
+            "telemetry_tamper": {"src": "ny", "path": "NTT", "bias_ms": 12.0},
+            "telemetry_replay": {"src": "ny", "path": "GTT", "delay_s": 1.0},
+            "gray_loss": {"src": "ny", "path": "GTT", "rate": 0.3},
+            "clock_drift": {"edge": "la", "ppm": 200.0},
+        }[kind]
+        duration = 0.0 if kind == "clock_drift" else 4.0
+        return plan_of(
+            FaultEvent(
+                kind, at=3.0, duration=duration, params={**defaults, **params}
+            )
+        )
+
+    def test_valid_fixtures_clean(self):
+        for kind in (
+            "telemetry_tamper",
+            "telemetry_replay",
+            "gray_loss",
+            "clock_drift",
+        ):
+            assert check_fault_plan(self.adversarial(kind), self.spec) == []
+
+    def test_tamper_bias_must_be_a_nonzero_number(self):
+        findings = check_fault_plan(
+            self.adversarial("telemetry_tamper", bias_ms=0.0), self.spec
+        )
+        assert len(findings) == 1
+        assert "bias_ms must be nonzero" in findings[0].message
+        findings = check_fault_plan(
+            self.adversarial("telemetry_tamper", bias_ms="big"), self.spec
+        )
+        assert "is not a number" in findings[0].message
+
+    def test_replay_delay_must_be_positive(self):
+        findings = check_fault_plan(
+            self.adversarial("telemetry_replay", delay_s=-1.0), self.spec
+        )
+        assert len(findings) == 1
+        assert "delay_s must be > 0" in findings[0].message
+
+    def test_gray_loss_rate_must_be_a_probability(self):
+        for rate in (0.0, 1.5):
+            findings = check_fault_plan(
+                self.adversarial("gray_loss", rate=rate), self.spec
+            )
+            assert len(findings) == 1
+            assert "rate must be in (0, 1]" in findings[0].message
+
+    def test_adversarial_kinds_check_their_targets_too(self):
+        findings = check_fault_plan(
+            self.adversarial("telemetry_tamper", path="Sprint"), self.spec
+        )
+        assert any("no wide-area path 'Sprint'" in f.message for f in findings)
+
+    def test_clock_drift_beyond_monitor_bound_rejected(self):
+        """A drift the monitor cannot re-estimate away tests nothing but
+        the plausibility filter's slack — the lint refuses the plan."""
+        from repro.trust.clock import ClockIntegrityMonitor
+
+        bound = ClockIntegrityMonitor.MAX_TRACKABLE_PPM
+        findings = check_fault_plan(
+            self.adversarial("clock_drift", ppm=bound + 1), self.spec
+        )
+        assert len(findings) == 1
+        assert "re-estimation bound" in findings[0].message
+        assert check_fault_plan(
+            self.adversarial("clock_drift", ppm=-bound), self.spec
+        ) == []
+
+
 class TestCheckPlanFiles:
     def test_shipped_example_plans_validate_clean(self):
         plans = sorted(str(p) for p in (REPO_ROOT / "examples").glob("*.json"))

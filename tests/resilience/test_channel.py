@@ -296,3 +296,96 @@ class TestTelemetryRecord:
         record = TelemetryRecord(seq=0, path_id=1, t=2.0, value=0.03)
         with pytest.raises(AttributeError):
             record.seq = 5
+
+
+class TestAuthenticatedChannel:
+    KEY = b"channel-test-key"
+
+    def make_authed(self, config=None, seed=0, gate=None):
+        from repro.telemetry.auth import TelemetryAuthenticator
+
+        sim = Simulator()
+        source, sink = MeasurementStore(), MeasurementStore()
+        channel = ReliableTelemetryChannel(
+            source,
+            sink,
+            sim,
+            config=config or ChannelConfig(),
+            seed=seed,
+            authenticator=TelemetryAuthenticator(self.KEY),
+            gate=gate,
+        )
+        return sim, source, sink, channel
+
+    def test_honest_records_tagged_and_delivered(self):
+        sim, source, sink, channel = self.make_authed()
+        feed(sim, source, interval=0.01, stop=1.0)
+        channel.start()
+        sim.run(until=2.0)
+        assert len(sink.series(0)) == len(source.series(0)) > 0
+        assert channel.stats.records_forged == 0
+        assert channel.authenticator.stats.verified == (
+            channel.stats.records_delivered
+        )
+
+    def test_retransmits_do_not_trip_the_replay_window(self):
+        """Transport-level duplicates are deduped by seq before the
+        authenticator sees them: loss recovery is not a replay attack."""
+        sim, source, sink, channel = self.make_authed(
+            config=ChannelConfig(loss_rate=0.3), seed=5
+        )
+        feed(sim, source, interval=0.01, stop=1.0)
+        channel.start()
+        sim.run(until=5.0)
+        assert channel.stats.retransmits > 0
+        assert len(sink.series(0)) == len(source.series(0))
+        assert channel.authenticator.stats.replayed == 0
+        assert channel.stats.records_forged == 0
+
+    def test_in_flight_tamper_rejected_and_withheld(self):
+        """An on-path attacker shifting the MAC'd sample time keeps the
+        stale tag; verification fails and the sink never sees it."""
+        sim, source, sink, channel = self.make_authed()
+        wire = channel._send_frame
+
+        def mitm(records, now):
+            wire(
+                [
+                    TelemetryRecord(
+                        r.seq, r.path_id, r.t - 0.010, r.value, tag=r.tag
+                    )
+                    for r in records
+                ],
+                now,
+            )
+
+        channel._send_frame = mitm
+        feed(sim, source, interval=0.01, stop=1.0)
+        channel.start()
+        sim.run(until=2.0)
+        assert channel.stats.records_forged > 0
+        assert channel.stats.records_delivered == 0
+        assert len(sink.series(0)) == 0
+        # Forged records are still acked: the transport did its job, the
+        # verdict belongs to the auth layer — no retransmit storm.
+        assert channel.stats.retransmits == 0
+
+    def test_gate_rejections_counted_and_withheld(self):
+        class EvenSecondsGate:
+            def __init__(self):
+                self.seen = 0
+
+            def admit(self, path_id, t, value, now):
+                self.seen += 1
+                return int(t * 100) % 2 == 0
+
+        gate = EvenSecondsGate()
+        sim, source, sink, channel = self.make_authed(gate=gate)
+        feed(sim, source, interval=0.01, stop=1.0)
+        channel.start()
+        sim.run(until=2.0)
+        delivered = channel.stats.records_delivered
+        rejected = channel.stats.records_rejected
+        assert rejected > 0 and delivered > 0
+        assert gate.seen == delivered + rejected
+        assert len(sink.series(0)) == delivered

@@ -18,7 +18,7 @@ FAST_POLICY = SupervisorPolicy(
 )
 
 
-def make_supervised(policy=FAST_POLICY, journal=None, quarantine=None):
+def make_supervised(policy=FAST_POLICY, journal=None, quarantine=None, seed=0):
     net, gateway = make_setup()
     gateway.set_selector(LowestDelaySelector(gateway.outbound, window_s=1.0))
     controller = TangoController(
@@ -30,7 +30,9 @@ def make_supervised(policy=FAST_POLICY, journal=None, quarantine=None):
         journal=journal,
     )
     controller.start()
-    supervisor = Supervisor(controller, net.sim, journal=journal, policy=policy)
+    supervisor = Supervisor(
+        controller, net.sim, journal=journal, policy=policy, seed=seed
+    )
     supervisor.start()
     return net, gateway, controller, supervisor
 
@@ -177,6 +179,59 @@ class TestBackoff:
             pytest.approx(0.5),
             pytest.approx(0.25),
         ]
+
+
+class TestDeterministicJitter:
+    JITTERED = SupervisorPolicy(
+        check_interval_s=0.3,
+        restart_delay_s=0.25,
+        backoff_factor=2.0,
+        max_restart_delay_s=5.0,
+        healthy_after_s=10.0,
+        jitter_frac=0.5,
+    )
+    # Spaced so each restart (with up to 1.5x jittered delay) completes
+    # before the next crash lands.
+    CRASHES = [1.0, 2.5, 4.5, 7.5]
+
+    def schedule(self, seed):
+        net, _, controller, supervisor = make_supervised(
+            policy=self.JITTERED, seed=seed
+        )
+        for t in self.CRASHES:
+            net.sim.schedule_at(t, controller.crash)
+        net.run(until=13.0)
+        return [
+            (e.t, e.delay_s)
+            for e in supervisor.events
+            if e.action == "crash-detected"
+        ]
+
+    def test_same_seed_identical_schedule(self):
+        assert self.schedule(7) == self.schedule(7)
+
+    def test_different_seeds_decorrelate(self):
+        delays_a = [d for _, d in self.schedule(7)]
+        delays_b = [d for _, d in self.schedule(8)]
+        assert delays_a != delays_b
+
+    def test_jitter_bounded_above_base_delay(self):
+        """Jitter only ever lengthens the delay, by at most jitter_frac."""
+        base = [0.25, 0.5, 1.0, 2.0]
+        delays = [d for _, d in self.schedule(7)]
+        assert len(delays) == len(base)
+        for got, expected in zip(delays, base):
+            assert expected <= got <= expected * 1.5
+
+    def test_zero_jitter_matches_prior_behavior(self):
+        net, _, controller, supervisor = make_supervised(seed=7)
+        for t in self.CRASHES:
+            net.sim.schedule_at(t, controller.crash)
+        net.run(until=13.0)
+        delays = [
+            e.delay_s for e in supervisor.events if e.action == "crash-detected"
+        ]
+        assert delays == [pytest.approx(d) for d in [0.25, 0.5, 1.0, 2.0]]
 
 
 class TestWarmRestore:

@@ -123,6 +123,54 @@ class TestFaultsRunBadPlan:
         err = capsys.readouterr().err
         assert "cannot read fault plan" in err
 
+    def test_error_names_the_offending_event_index(self, tmp_path, capsys):
+        """A 40-event plan with one bad event must say *which* one."""
+        plan = tmp_path / "bad-second-event.json"
+        plan.write_text(
+            '{"name": "bad", "events": ['
+            '{"kind": "link_blackhole", "at": 1.0, "duration": 2.0,'
+            ' "src": "ny", "path": "GTT"},'
+            '{"kind": "gray_loss", "at": 3.0, "duration": 2.0,'
+            ' "src": "ny", "path": "GTT"}]}',
+            encoding="utf-8",
+        )
+        assert main(["faults", "run", "--plan", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "event #1:" in err
+        assert "missing parameter" in err
+        assert "Traceback" not in err
+
+
+class TestFaultsCampaign:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults", "campaign"])
+        assert args.faults_command == "campaign"
+        assert args.plans == 16
+        assert args.workers == 1
+        assert args.seed == 2026
+        assert args.out == "BENCH_ROBUST.json"
+
+    def test_nonpositive_counts_are_usage_errors(self, capsys):
+        assert main(["faults", "campaign", "--plans", "0"]) == 2
+        assert "plans" in capsys.readouterr().err
+        assert main(["faults", "campaign", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_tiny_campaign_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "robust.json"
+        code = main(
+            ["faults", "campaign", "--plans", "1", "--out", str(out)]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "all E17 gates passed" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "E17"
+        assert payload["plans"] == 1
+        assert payload["results"][0]["archetype"] == "favored_tamper"
+
 
 class TestTraffic:
     def test_parser_defaults(self):

@@ -1,0 +1,120 @@
+"""Unit tests: clock-integrity monitoring (drift tracking, step consensus)."""
+
+import pytest
+
+from repro.trust.clock import ClockEvent, ClockIntegrityMonitor
+
+OFFSET = 0.004  # honest constant clock offset (s)
+
+
+def feed(monitor, t0, t1, dt, residual_fn, paths=(0, 1, 2, 3)):
+    t = t0
+    while t < t1:
+        for path_id in paths:
+            monitor.observe(path_id, t, residual_fn(t, path_id))
+        t += dt
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ClockIntegrityMonitor(window=4)
+        with pytest.raises(ValueError):
+            ClockIntegrityMonitor(min_samples=1)
+        with pytest.raises(ValueError):
+            ClockIntegrityMonitor(step_threshold_s=0.0)
+        with pytest.raises(ValueError):
+            ClockIntegrityMonitor(drift_threshold_ppm=-1.0)
+
+    def test_calibrating_returns_none(self):
+        m = ClockIntegrityMonitor(min_samples=12)
+        for i in range(11):
+            m.observe(0, float(i), OFFSET)
+        assert m.predicted_residual(11.0) is None
+        assert m.drift_ppm() is None
+
+
+class TestDriftTracking:
+    def test_constant_offset_predicted_flat(self):
+        m = ClockIntegrityMonitor()
+        feed(m, 0.0, 5.0, 0.05, lambda t, p: OFFSET)
+        assert m.predicted_residual(5.0) == pytest.approx(OFFSET, abs=1e-6)
+        assert m.drift_ppm() == pytest.approx(0.0, abs=1.0)
+        assert m.events == []
+
+    def test_linear_drift_is_tracked_and_reported(self):
+        ppm = 200.0
+        m = ClockIntegrityMonitor(drift_threshold_ppm=50.0)
+        feed(m, 0.0, 8.0, 0.05, lambda t, p: OFFSET + ppm * 1e-6 * t)
+        assert m.drift_ppm() == pytest.approx(ppm, rel=0.05)
+        # Prediction extrapolates the drift, so honest future samples
+        # stay near-zero deviation.
+        predicted = m.predicted_residual(8.0)
+        actual = OFFSET + ppm * 1e-6 * 8.0
+        assert predicted == pytest.approx(actual, abs=2e-4)
+        kinds = [e.kind for e in m.events]
+        assert "drift" in kinds
+
+    def test_drift_event_waits_for_min_span(self):
+        """Early short-span slopes are noise-amplified; no drift event
+        may fire before the buffer covers min_span_s."""
+        m = ClockIntegrityMonitor(drift_threshold_ppm=50.0, min_span_s=3.0)
+        feed(m, 0.0, 2.0, 0.05, lambda t, p: OFFSET + 400e-6 * t)
+        assert [e for e in m.events if e.kind == "drift"] == []
+        feed(m, 2.0, 6.0, 0.05, lambda t, p: OFFSET + 400e-6 * t)
+        drift = [e for e in m.events if e.kind == "drift"]
+        assert drift and drift[0].t >= 3.0
+
+    def test_minority_tampered_path_cannot_steer_fit(self):
+        """One tampered path of four is a minority the Theil-Sen fit and
+        the median intercept both ignore."""
+        bias = 0.015
+
+        def residual(t, path_id):
+            return OFFSET - bias if path_id == 0 else OFFSET
+
+        m = ClockIntegrityMonitor()
+        feed(m, 0.0, 6.0, 0.05, residual)
+        assert m.predicted_residual(6.0) == pytest.approx(OFFSET, abs=1e-4)
+        # And no step event: the median per-path deviation is honest.
+        assert [e for e in m.events if e.kind == "step"] == []
+
+
+class TestStepConsensus:
+    def test_common_step_detected_and_rebased(self):
+        step = 0.010
+
+        def residual(t, path_id):
+            return OFFSET + (step if t >= 3.0 else 0.0)
+
+        m = ClockIntegrityMonitor()
+        feed(m, 0.0, 6.0, 0.05, residual)
+        steps = [e for e in m.events if e.kind == "step"]
+        assert steps
+        assert steps[0].t == pytest.approx(3.0, abs=0.2)
+        # Magnitude is the consensus at detection: conservative, between
+        # the threshold and the full jump.
+        assert m.step_threshold_s < steps[0].magnitude <= step + 1e-3
+        # After the rebase the fit converges on the post-step level.
+        assert m.predicted_residual(6.0) == pytest.approx(
+            OFFSET + step, abs=1e-3
+        )
+
+    def test_single_path_jump_is_not_a_step(self):
+        def residual(t, path_id):
+            if path_id == 2 and t >= 3.0:
+                return OFFSET + 0.02
+            return OFFSET
+
+        m = ClockIntegrityMonitor()
+        feed(m, 0.0, 6.0, 0.05, residual)
+        assert [e for e in m.events if e.kind == "step"] == []
+
+
+class TestEventRecord:
+    def test_event_fields(self):
+        e = ClockEvent(t=1.5, kind="drift", magnitude=120.0)
+        assert (e.t, e.kind, e.magnitude) == (1.5, "drift", 120.0)
+
+    def test_max_trackable_ppm_is_the_lint_bound(self):
+        assert ClockIntegrityMonitor.MAX_TRACKABLE_PPM == 500.0

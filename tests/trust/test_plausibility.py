@@ -1,0 +1,135 @@
+"""Unit tests: the plausibility gate's admit/reject verdicts."""
+
+import pytest
+
+from repro.telemetry.store import MeasurementStore
+from repro.trust.clock import ClockIntegrityMonitor
+from repro.trust.plausibility import PlausibilityFilter
+
+OWD = 0.028  # honest one-way delay (s)
+OFFSET = 0.004  # honest clock-offset residual (s)
+
+
+def make_gate(monitor=None, **kwargs):
+    envelope = MeasurementStore()
+    envelope.record(0, 0.0, OWD)  # local RTT/2 says ~28 ms
+    return PlausibilityFilter(envelope=envelope, monitor=monitor, **kwargs), envelope
+
+
+def calibrate(gate, n=12, t0=0.0, dt=0.05):
+    for i in range(n):
+        t = t0 + i * dt
+        assert gate.admit(0, t, OWD + OFFSET, now=t + 0.05)
+    return t0 + n * dt
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        store = MeasurementStore()
+        with pytest.raises(ValueError):
+            PlausibilityFilter(store, abs_slack_s=0.0)
+        with pytest.raises(ValueError):
+            PlausibilityFilter(store, rel_slack=-0.1)
+        with pytest.raises(ValueError):
+            PlausibilityFilter(store, max_age_s=0.0)
+        with pytest.raises(ValueError):
+            PlausibilityFilter(store, calibration_samples=1)
+
+
+class TestContinuity:
+    def test_rewound_or_duplicate_time_rejected(self):
+        gate, _ = make_gate()
+        assert gate.admit(0, 1.0, OWD + OFFSET, now=1.05)
+        assert not gate.admit(0, 1.0, OWD + OFFSET, now=1.1)
+        assert not gate.admit(0, 0.5, OWD + OFFSET, now=1.1)
+        assert gate.rejected_discontinuity == 2
+
+    def test_rejected_sample_does_not_advance_horizon(self):
+        """A rejected far-future-stale sample must not poison the
+        continuity horizon for subsequent honest samples."""
+        gate, _ = make_gate()
+        assert gate.admit(0, 1.0, OWD + OFFSET, now=1.05)
+        # Stale replay with a plausible-looking later t: rejected.
+        assert not gate.admit(0, 4.0, OWD + OFFSET, now=9.0)
+        # The honest successor of t=1.0 still admits.
+        assert gate.admit(0, 1.05, OWD + OFFSET, now=1.1)
+
+    def test_paths_have_independent_horizons(self):
+        gate, envelope = make_gate()
+        envelope.record(1, 0.0, OWD)
+        assert gate.admit(0, 1.0, OWD + OFFSET, now=1.05)
+        assert gate.admit(1, 0.5, OWD + OFFSET, now=0.55)
+
+
+class TestFreshness:
+    def test_aged_sample_rejected(self):
+        gate, _ = make_gate(max_age_s=2.0)
+        assert not gate.admit(0, 1.0, OWD + OFFSET, now=3.5)
+        assert gate.rejected_stale == 1
+
+
+class TestEnvelope:
+    def test_honest_samples_admitted_after_calibration(self):
+        gate, _ = make_gate()
+        t = calibrate(gate)
+        assert gate.admit(0, t, OWD + OFFSET + 0.001, now=t + 0.05)
+        assert gate.rejected == 0
+
+    def test_tampered_sample_rejected_after_calibration(self):
+        gate, _ = make_gate()
+        t = calibrate(gate)
+        # Tamper claims the path is ~15 ms faster than local RTT/2 can
+        # explain: outside abs 2 ms + rel 0.35*28 ms ~ 11.8 ms tolerance.
+        assert not gate.admit(0, t, OWD + OFFSET - 0.015, now=t + 0.05)
+        assert gate.rejected_envelope == 1
+
+    def test_no_envelope_path_admits_while_calibrating(self):
+        gate, _ = make_gate()
+        # Path 7 has no local estimate: nothing to judge against.
+        assert gate.admit(7, 1.0, 0.1, now=1.05)
+        assert gate.rejected == 0
+
+    def test_counter_sum(self):
+        gate, _ = make_gate()
+        t = calibrate(gate)
+        gate.admit(0, t - 1.0, OWD + OFFSET, now=t)  # discontinuity
+        gate.admit(0, t, OWD + OFFSET, now=t + 5.0)  # stale
+        gate.admit(0, t + 0.1, OWD - 0.02, now=t + 0.15)  # envelope
+        assert gate.rejected == 3
+        assert (
+            gate.rejected_stale,
+            gate.rejected_discontinuity,
+            gate.rejected_envelope,
+        ) == (1, 1, 1)
+
+
+class TestClockCompensation:
+    def test_frozen_offset_is_drift_fragile(self):
+        """Without a monitor, honest samples under clock drift are
+        eventually rejected — the ablation E17 documents."""
+        gate, _ = make_gate(monitor=None, rel_slack=0.0, abs_slack_s=2e-3)
+        drift = 400e-6  # 400 ppm
+
+        t, rejected_at = 0.0, None
+        while t < 60.0:
+            ok = gate.admit(0, t, OWD + OFFSET + drift * t, now=t + 0.05)
+            if not ok:
+                rejected_at = t
+                break
+            t += 0.5
+        assert rejected_at is not None
+
+    def test_monitor_reestimates_drift_away(self):
+        monitor = ClockIntegrityMonitor()
+        gate, _ = make_gate(monitor=monitor, rel_slack=0.0, abs_slack_s=2e-3)
+        drift = 400e-6
+
+        t = 0.0
+        verdicts = []
+        while t < 60.0:
+            verdicts.append(
+                gate.admit(0, t, OWD + OFFSET + drift * t, now=t + 0.05)
+            )
+            t += 0.5
+        # Everything after the monitor's calibration window admits.
+        assert all(verdicts[ClockIntegrityMonitor().min_samples :])
