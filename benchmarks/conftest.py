@@ -31,3 +31,37 @@ def quiet_deployment():
 def emit(text: str) -> None:
     """Print a reproduction table (visible with ``-s`` / on failure)."""
     print("\n" + text)
+
+
+def merge_experiment(path: str, experiment: str, report_json: str) -> str:
+    """Merge one campaign report into a multi-experiment JSON file.
+
+    ``BENCH_ROBUST.json`` holds one top-level key per experiment
+    (``{"E17": {...}, "E18": {...}}``) so the chaos campaigns can share
+    the file without clobbering each other; the write stays
+    deterministic (sorted keys, stable indentation, trailing newline).
+    A legacy flat report — or anything else unrecognized — is replaced
+    wholesale rather than merged into.
+    """
+    import json
+    import os
+    import re
+
+    merged = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        if (
+            isinstance(existing, dict)
+            and existing
+            and all(re.fullmatch(r"E\d+", key) for key in existing)
+        ):
+            merged = existing
+    merged[experiment] = json.loads(report_json)
+    text = json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

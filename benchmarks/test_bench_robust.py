@@ -25,7 +25,7 @@ import os
 import statistics
 from collections import defaultdict
 
-from conftest import emit
+from conftest import emit, merge_experiment
 
 from repro.analysis.report import format_table
 from repro.campaign import run_campaign
@@ -77,9 +77,8 @@ def test_robust_campaign(benchmark):
         f"(slo {report.gates['mttr_slo_s']:.1f} s)"
     )
 
-    with open(OUT_PATH, "w", encoding="utf-8") as handle:
-        handle.write(report.to_json())
-    emit(f"wrote {OUT_PATH} ({PLANS} plans, {WORKERS} workers)")
+    merge_experiment(OUT_PATH, "E17", report.to_json())
+    emit(f"merged E17 into {OUT_PATH} ({PLANS} plans, {WORKERS} workers)")
 
     payload = json.loads(report.to_json())
     assert payload["experiment"] == "E17"

@@ -7,21 +7,42 @@ against a *defended* and an *undefended* victim deployment
 deterministically, and gates the merged report on the E17 SLOs —
 availability, MTTR, and one-way-delay regret.  Identical master seed ⇒
 byte-identical ``BENCH_ROBUST.json``, regardless of worker count.
+
+The correlated-failure (E18) campaign reuses the same machinery over the
+SRLG plan family: shared-fate fiber cuts, two-group overlaps, regional
+outages, and drain-then-fail maintenance windows, with the defended
+variant running the failure-domain stack (diversity-aware selection plus
+make-before-break fast reroute).
 """
 
-from .plans import AdversarialPlan, generate_adversarial_plans
+from .plans import (
+    AdversarialPlan,
+    ARCHETYPES,
+    CORRELATED_ARCHETYPES,
+    generate_adversarial_plans,
+    generate_correlated_plans,
+)
 from .runner import (
     CampaignConfig,
     CampaignReport,
+    CorrelatedConfig,
     run_campaign,
+    run_correlated_campaign,
+    run_correlated_plan,
     run_plan,
 )
 
 __all__ = [
     "AdversarialPlan",
+    "ARCHETYPES",
+    "CORRELATED_ARCHETYPES",
     "generate_adversarial_plans",
+    "generate_correlated_plans",
     "CampaignConfig",
     "CampaignReport",
+    "CorrelatedConfig",
     "run_campaign",
+    "run_correlated_campaign",
+    "run_correlated_plan",
     "run_plan",
 ]

@@ -29,7 +29,13 @@ import numpy as np
 
 from ..faults.plan import FaultEvent, FaultPlan
 
-__all__ = ["AdversarialPlan", "generate_adversarial_plans", "ARCHETYPES"]
+__all__ = [
+    "AdversarialPlan",
+    "generate_adversarial_plans",
+    "generate_correlated_plans",
+    "ARCHETYPES",
+    "CORRELATED_ARCHETYPES",
+]
 
 #: Generation order; plan ``i`` gets archetype ``ARCHETYPES[i % 5]``.
 ARCHETYPES = (
@@ -166,6 +172,126 @@ def _blackhole(rng: np.random.Generator, seed: int) -> FaultEvent:
         duration=duration,
         params={"src": VICTIM, "path": _TRUE_BEST},
     )
+
+
+#: Correlated-failure archetypes (the E18 population).  All target the
+#: shared-fate structure of the Vultr scenario: Telia and GTT — the two
+#: fastest NY→LA paths — exit LA through the same "socal-conduit".
+CORRELATED_ARCHETYPES = (
+    "shared_srlg",
+    "two_group",
+    "regional",
+    "maintenance",
+)
+
+_SHARED_GROUP = "socal-conduit"
+_SECOND_GROUP = "level3-backbone"
+_REGION = "socal"
+
+
+def _shared_srlg(rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    """One fiber cut on the conduit both fast paths share."""
+    at, duration = _window(rng)
+    return (
+        FaultEvent(
+            "srlg_failure",
+            at=at,
+            duration=duration,
+            params={"group": _SHARED_GROUP},
+        ),
+    )
+
+
+def _two_group(rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    """Two overlapping group failures: the shared conduit plus Level3's
+    backbone.  During the overlap only NTT survives — the availability
+    gate's worst case (>= 0.9 on one remaining path)."""
+    at, duration = _window(rng)
+    second_at = round(at + float(rng.uniform(0.3, max(duration - 0.8, 0.4))), 3)
+    second_duration = round(float(rng.uniform(2.0, 3.5)), 3)
+    return (
+        FaultEvent(
+            "srlg_failure",
+            at=at,
+            duration=duration,
+            params={"group": _SHARED_GROUP},
+        ),
+        FaultEvent(
+            "srlg_failure",
+            at=second_at,
+            duration=second_duration,
+            params={"group": _SECOND_GROUP},
+        ),
+    )
+
+
+def _regional(rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    """Metro-scale outage: the socal region's links AND its transit
+    routers' BGP sessions go down together."""
+    at, duration = _window(rng)
+    return (
+        FaultEvent(
+            "regional_outage",
+            at=at,
+            duration=duration,
+            params={"region": _REGION},
+        ),
+    )
+
+
+def _maintenance(rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    """Scheduled drain-then-fail on the shared conduit: the defended
+    controller gets advance notice and must switch losslessly."""
+    at, duration = _window(rng)
+    drain_s = round(float(rng.uniform(0.3, 0.7)), 3)
+    return (
+        FaultEvent(
+            "maintenance_window",
+            at=at,
+            duration=duration,
+            params={"group": _SHARED_GROUP, "drain_s": drain_s},
+        ),
+    )
+
+
+def generate_correlated_plans(
+    count: int, master_seed: int
+) -> list[AdversarialPlan]:
+    """The E18 population: ``count`` correlated-failure plans.
+
+    Same purity contract as :func:`generate_adversarial_plans`, with the
+    seed sequence namespaced ``[master_seed, index, 18]`` so E17 and E18
+    populations generated from the same master seed stay decorrelated.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    plans: list[AdversarialPlan] = []
+    for index in range(count):
+        archetype = CORRELATED_ARCHETYPES[index % len(CORRELATED_ARCHETYPES)]
+        sequence = np.random.SeedSequence([master_seed, index, 18])
+        rng = np.random.Generator(np.random.PCG64(sequence))
+        plan_seed = int(rng.integers(0, 2**31 - 1))
+        if archetype == "shared_srlg":
+            events = _shared_srlg(rng)
+        elif archetype == "two_group":
+            events = _two_group(rng)
+        elif archetype == "regional":
+            events = _regional(rng)
+        else:
+            events = _maintenance(rng)
+        plans.append(
+            AdversarialPlan(
+                index=index,
+                archetype=archetype,
+                favored=None,
+                plan=FaultPlan(
+                    name=f"corr-{index:03d}-{archetype}",
+                    seed=plan_seed,
+                    events=events,
+                ),
+            )
+        )
+    return plans
 
 
 def generate_adversarial_plans(

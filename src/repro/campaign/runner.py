@@ -20,6 +20,22 @@ The E17 gates (see EXPERIMENTS.md):
   despite the attack (reroutes are allowed, outages are not);
 * **MTTR** — classic blackholes still recover within the SLO with the
   full defense stack armed (the defense must not slow plain recovery).
+
+The **E18** correlated-failure campaign reuses the same sharding and
+determinism machinery over the SRLG plan family
+(:func:`~repro.campaign.plans.generate_correlated_plans`); its defended
+variant swaps the Byzantine defense for the failure-domain stack
+(:class:`~repro.srlg.FateAwareSelector` + fast reroute) and gates on
+switchover latency, zero post-detection traffic on failed groups, and
+availability under a two-group outage.
+
+Worker-death hardening: shards run under a
+:class:`~concurrent.futures.ProcessPoolExecutor`; a shard whose process
+dies (or whose future otherwise errors) is retried **once in-process**,
+and the merged report surfaces a ``shard_retries`` counter.  Because
+each shard is a pure function of ``(plan, config)``, the retry produces
+the same bytes the dead worker would have — determinism survives
+crashes.
 """
 
 from __future__ import annotations
@@ -27,11 +43,23 @@ from __future__ import annotations
 import json
 import statistics
 from dataclasses import asdict, dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from .plans import AdversarialPlan, generate_adversarial_plans
+from .plans import (
+    AdversarialPlan,
+    generate_adversarial_plans,
+    generate_correlated_plans,
+)
 
-__all__ = ["CampaignConfig", "CampaignReport", "run_plan", "run_campaign"]
+__all__ = [
+    "CampaignConfig",
+    "CorrelatedConfig",
+    "CampaignReport",
+    "run_plan",
+    "run_campaign",
+    "run_correlated_plan",
+    "run_correlated_campaign",
+]
 
 #: Shared per-pairing MAC key used by every campaign run.
 CAMPAIGN_KEY = b"tango-campaign-key"
@@ -68,9 +96,27 @@ class CampaignConfig:
             raise ValueError("telemetry_horizon_s must be positive")
 
 
-def _build_victim(defended: bool, config: CampaignConfig):
-    """One victim deployment with a data stream, returning the pieces
-    the metrics need: (deployment, controller, sent_counter)."""
+@dataclass(frozen=True)
+class CorrelatedConfig(CampaignConfig):
+    """E18 recipe: the base simulation plus correlated-failure SLOs."""
+
+    #: Availability floor while *two* risk groups are down at once (only
+    #: one calibrated path survives the overlap).
+    availability_two_group_slo: float = 0.9
+    #: FRR switchover budget, in telemetry horizons.
+    switchover_horizons: float = 1.0
+
+
+def _build_victim(defended: bool, config: CampaignConfig, defense: str = "trust"):
+    """One victim deployment with a data stream.
+
+    ``defense`` selects which defended stack is installed: ``"trust"``
+    (the E17 Byzantine-telemetry defense) or ``"srlg"`` (the E18
+    failure-domain stack: :class:`~repro.srlg.FateAwareSelector` over the
+    delay policy plus fast reroute wired into the controller).  Returns
+    ``(deployment, controller, sent_counter, fate, frr)`` — the last two
+    are ``None`` outside the ``"srlg"`` mode.
+    """
     from ..core.controller import QuarantinePolicy, TangoController
     from ..core.policy import LowestDelaySelector
     from ..netsim.trace import PacketFactory
@@ -80,24 +126,32 @@ def _build_victim(defended: bool, config: CampaignConfig):
 
     deployment = VultrDeployment(
         include_events=False,
-        auth_key=CAMPAIGN_KEY if defended else b"",
+        auth_key=CAMPAIGN_KEY if defended and defense == "trust" else b"",
         telemetry_channel=ChannelConfig(report_interval_s=0.05),
     )
     deployment.establish()
     deployment.start_path_probes(VICTIM, interval_s=config.probe_interval_s)
-    deployment.set_data_policy(
-        VICTIM,
-        LowestDelaySelector(deployment.gateway(VICTIM).outbound, window_s=1.0),
-    )
+    inner = LowestDelaySelector(deployment.gateway(VICTIM).outbound, window_s=1.0)
+    fate = None
+    frr = None
     controller_kwargs = {}
-    if defended:
-        stack = install_defense(
-            deployment,
-            VICTIM,
-            CAMPAIGN_KEY,
-            horizon_s=config.telemetry_horizon_s,
-        )
-        controller_kwargs = stack.controller_kwargs()
+    if defended and defense == "srlg":
+        from ..srlg import FastReroute, FateAwareSelector
+
+        fate = FateAwareSelector(inner, deployment.srlg)
+        deployment.set_data_policy(VICTIM, fate)
+        frr = FastReroute(deployment.gateway(VICTIM), deployment.srlg, fate)
+        controller_kwargs = {"frr": frr}
+    else:
+        deployment.set_data_policy(VICTIM, inner)
+        if defended:
+            stack = install_defense(
+                deployment,
+                VICTIM,
+                CAMPAIGN_KEY,
+                horizon_s=config.telemetry_horizon_s,
+            )
+            controller_kwargs = stack.controller_kwargs()
     controller = TangoController(
         deployment.gateway(VICTIM),
         deployment.sim,
@@ -123,7 +177,7 @@ def _build_victim(defended: bool, config: CampaignConfig):
         send(factory.build())
 
     deployment.sim.call_every(config.data_gap_s, pump)
-    return deployment, controller, sent
+    return deployment, controller, sent, fate, frr
 
 
 def _true_delay_models(deployment) -> dict[int, object]:
@@ -202,7 +256,7 @@ def _steered_s(controller, favored_id: int, window: tuple[float, float]) -> floa
 def _run_variant(adv: AdversarialPlan, defended: bool, config: CampaignConfig) -> dict:
     from ..faults import FaultInjector, RecoveryLog
 
-    deployment, controller, sent = _build_victim(defended, config)
+    deployment, controller, sent, _, _ = _build_victim(defended, config)
     if adv.plan.events:
         FaultInjector(deployment, adv.plan).arm()
     deployment.net.run(until=config.horizon_s)
@@ -249,6 +303,146 @@ def _run_variant(adv: AdversarialPlan, defended: bool, config: CampaignConfig) -
     return result
 
 
+# -- E18: correlated-failure variants ----------------------------------------------
+
+
+def _correlated_windows(
+    adv: AdversarialPlan, deployment, horizon_s: float
+) -> list[tuple[float, float, frozenset]]:
+    """``(onset, end, affected_labels)`` per correlated event, sorted by
+    onset.  ``maintenance_window`` onsets at the end of its drain — the
+    path still works during the drain, and charging ticks before the
+    actual failure would punish the zero-loss make-before-break case."""
+    from ..faults.plan import maintenance_drain_s
+
+    registry = deployment.srlg
+    tunnels = deployment.tunnels(VICTIM)
+    windows = []
+    for event in adv.plan.events:
+        if event.kind in ("srlg_failure", "maintenance_window"):
+            groups = frozenset({str(event.params["group"])})
+        elif event.kind == "regional_outage":
+            groups = frozenset(registry.region(str(event.params["region"])).groups)
+        else:
+            continue
+        onset = event.at
+        if event.kind == "maintenance_window":
+            onset += maintenance_drain_s(event)
+        labels = frozenset(t.short_label for t in tunnels if t.srlgs & groups)
+        windows.append((onset, min(event.end, horizon_s), labels))
+    windows.sort(key=lambda w: w[0])
+    return windows
+
+
+def _switchover(
+    controller, labels: dict, window: tuple[float, float, frozenset]
+) -> tuple[Optional[float], Optional[str]]:
+    """(delay_s, landing label) of the first post-onset tick whose
+    installed choice is outside the failed groups — the FRR latency the
+    E18 gate bounds.  A make-before-break switch that landed *before*
+    onset reads as ~one tick."""
+    onset = window[0]
+    affected = window[2]
+    for t, v in zip(controller.choice_trace.times, controller.choice_trace.values):
+        if t < onset or int(v) < 0:
+            continue
+        if labels[int(v)] not in affected:
+            return round(float(t) - onset, 4), labels[int(v)]
+    return None, None
+
+
+def _failed_srlg_ticks(
+    controller, labels: dict, windows: list, grace_s: float
+) -> int:
+    """Control ticks spent riding a tunnel whose risk group had already
+    failed ``grace_s`` earlier — the "zero traffic on a failed SRLG
+    after detection" metric (one controller interval of grace covers
+    the detection tick itself)."""
+    count = 0
+    for t, v in zip(controller.choice_trace.times, controller.choice_trace.values):
+        if int(v) < 0:
+            continue
+        label = labels[int(v)]
+        for onset, end, affected in windows:
+            if label in affected and onset + grace_s <= t <= end:
+                count += 1
+                break
+    return count
+
+
+def _run_correlated_variant(
+    adv: AdversarialPlan, defended: bool, config: CampaignConfig
+) -> dict:
+    from ..faults import FaultInjector, RecoveryLog
+
+    deployment, controller, sent, fate, frr = _build_victim(
+        defended, config, defense="srlg"
+    )
+    if adv.plan.events:
+        FaultInjector(deployment, adv.plan).arm()
+    deployment.net.run(until=config.horizon_s)
+
+    models = _true_delay_models(deployment)
+    labels = {t.path_id: t.short_label for t in deployment.tunnels(VICTIM)}
+    windows = _correlated_windows(adv, deployment, config.horizon_s)
+    unusable = [
+        (label, onset, end)
+        for onset, end, affected in windows
+        for label in sorted(affected)
+    ]
+    result = _regret_ms(controller, models, labels, unusable, config)
+
+    peer = deployment.peer_of(VICTIM)
+    received = sum(
+        1
+        for p in deployment.hosts[peer].received_packets
+        if p.flow_label == 9
+    )
+    result["availability"] = round(received / sent[0], 4) if sent[0] else None
+
+    if windows:
+        switchover_s, switched_to = _switchover(controller, labels, windows[0])
+    else:
+        switchover_s, switched_to = None, None
+    result["switchover_s"] = switchover_s
+    result["switched_to"] = switched_to
+    result["failed_srlg_ticks"] = _failed_srlg_ticks(
+        controller, labels, windows, config.controller_interval_s
+    )
+
+    log = RecoveryLog.build(adv.plan, {VICTIM: controller})
+    mttr = log.mttr()
+    result["mttr_s"] = None if mttr is None else round(mttr, 4)
+    result["group_faults"] = log.path_fault_count
+    result["detected"] = log.detected_count
+    result["quarantine_events"] = len(controller.quarantine_log)
+    result["probation_holds"] = sum(
+        1 for q in controller.quarantine_log if q.action == "probation-hold"
+    )
+
+    if fate is not None:
+        result["fate_filtered"] = fate.filtered
+        result["pin_hits"] = fate.pin_hits
+    if frr is not None:
+        result["frr_switchovers"] = frr.switchovers
+        result["frr_events"] = len(frr.log)
+    return result
+
+
+def run_correlated_plan(payload: dict, config: CampaignConfig) -> dict:
+    """Worker entry point for one E18 plan: the SRLG-defended stack vs
+    the plain quarantine stack (the row's own ablation)."""
+    adv = AdversarialPlan.from_payload(payload)
+    return {
+        "index": adv.index,
+        "name": adv.plan.name,
+        "archetype": adv.archetype,
+        "seed": adv.plan.seed,
+        "defended": _run_correlated_variant(adv, True, config),
+        "undefended": _run_correlated_variant(adv, False, config),
+    }
+
+
 def run_plan(payload: dict, config: CampaignConfig) -> dict:
     """Worker entry point: one plan, defended and undefended variants.
 
@@ -267,9 +461,61 @@ def run_plan(payload: dict, config: CampaignConfig) -> dict:
     }
 
 
+#: Test seam: when set, every worker calls it with the plan index before
+#: running the shard.  A test pointing this at an ``os._exit`` kills the
+#: worker process mid-campaign and exercises the retry path without
+#: patching multiprocessing itself.  In-process retries bypass the hook.
+_shard_crash_hook: Optional[Callable[[int], None]] = None
+
+
 def _worker(args: tuple[dict, CampaignConfig]) -> dict:
     payload, config = args
+    if _shard_crash_hook is not None:
+        _shard_crash_hook(int(payload["index"]))
     return run_plan(payload, config)
+
+
+def _correlated_worker(args: tuple[dict, CampaignConfig]) -> dict:
+    payload, config = args
+    if _shard_crash_hook is not None:
+        _shard_crash_hook(int(payload["index"]))
+    return run_correlated_plan(payload, config)
+
+
+def _execute(
+    worker: Callable[[tuple[dict, CampaignConfig]], dict],
+    runner: Callable[[dict, CampaignConfig], dict],
+    payloads: list[tuple[dict, CampaignConfig]],
+    workers: int,
+) -> tuple[list[dict], int]:
+    """Run every shard, retrying dead shards once in-process.
+
+    With ``workers > 1`` shards run under a forked
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  A shard whose
+    worker process dies (a broken pool poisons every outstanding future)
+    or whose run raises is re-run exactly once, in-process, via
+    ``runner`` — shards are pure functions of ``(plan, config)``, so the
+    retry emits the same row the dead worker would have.  Returns
+    ``(rows, shard_retries)``.
+    """
+    if workers <= 1:
+        return [worker(args) for args in payloads], 0
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    rows: list[dict] = []
+    retries = 0
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = [pool.submit(worker, args) for args in payloads]
+        for args, future in zip(payloads, futures):
+            try:
+                rows.append(future.result())
+            except Exception:
+                retries += 1
+                payload, config = args
+                rows.append(runner(payload, config))
+    return rows, retries
 
 
 def _baseline(config: CampaignConfig) -> dict:
@@ -285,9 +531,22 @@ def _baseline(config: CampaignConfig) -> dict:
     return _run_variant(empty, True, config)
 
 
+def _correlated_baseline(config: CampaignConfig) -> dict:
+    """Fault-free run of the SRLG-defended stack — the E18 yardstick."""
+    from ..faults.plan import FaultPlan
+
+    empty = AdversarialPlan(
+        index=-1,
+        archetype="baseline",
+        favored=None,
+        plan=FaultPlan(name="baseline", seed=0, events=()),
+    )
+    return _run_correlated_variant(empty, True, config)
+
+
 @dataclass
 class CampaignReport:
-    """Merged campaign results plus the E17 gate verdicts."""
+    """Merged campaign results plus the gate verdicts (E17 or E18)."""
 
     master_seed: int
     workers: int
@@ -296,6 +555,8 @@ class CampaignReport:
     results: list[dict]
     gates: dict
     failures: list[str]
+    experiment: str = "E17"
+    shard_retries: int = 0
 
     @property
     def passed(self) -> bool:
@@ -305,9 +566,11 @@ class CampaignReport:
         """Stable serialization: sorted keys, no wall-clock anywhere —
         the determinism contract ``cmp`` checks byte-for-byte.  The
         worker count is deliberately *excluded*: 1-vs-N shards must
-        produce identical bytes."""
+        produce identical bytes.  ``shard_retries`` stays 0 on a healthy
+        run, so crash-free reruns remain byte-identical too."""
         payload = {
-            "experiment": "E17",
+            "experiment": self.experiment,
+            "shard_retries": self.shard_retries,
             "master_seed": self.master_seed,
             "plans": len(self.results),
             "config": asdict(self.config),
@@ -394,6 +657,75 @@ def _apply_gates(
     return gates, failures
 
 
+def _apply_correlated_gates(
+    results: list[dict], baseline: dict, config: CorrelatedConfig
+) -> tuple[dict, list[str]]:
+    failures: list[str] = []
+    budget_ms = max(
+        config.regret_factor * (baseline["median_ms"] or 0.0),
+        config.regret_floor_ms,
+    )
+    switchover_budget_s = (
+        config.switchover_horizons * config.telemetry_horizon_s
+    )
+
+    for row in results:
+        name = row["name"]
+        defended = row["defended"]
+        slo = (
+            config.availability_two_group_slo
+            if row["archetype"] == "two_group"
+            else config.availability_slo
+        )
+        if defended["availability"] is None or defended["availability"] < slo:
+            failures.append(
+                f"{name}: defended availability {defended['availability']} "
+                f"below SLO {slo}"
+            )
+        if (
+            defended["switchover_s"] is None
+            or defended["switchover_s"] > switchover_budget_s
+        ):
+            failures.append(
+                f"{name}: defended switchover {defended['switchover_s']} s "
+                f"exceeds {switchover_budget_s} s budget"
+            )
+        if defended["failed_srlg_ticks"] != 0:
+            failures.append(
+                f"{name}: defended rode a failed risk group for "
+                f"{defended['failed_srlg_ticks']} ticks after detection"
+            )
+        if defended["median_ms"] is None or defended["median_ms"] > budget_ms:
+            failures.append(
+                f"{name}: defended median regret {defended['median_ms']} ms "
+                f"exceeds budget {round(budget_ms, 4)} ms"
+            )
+        if row["undefended"]["failed_srlg_ticks"] < 1:
+            failures.append(
+                f"{name}: undefended never rode the failed group — "
+                f"fault not demonstrated"
+            )
+
+    switchovers = [
+        row["defended"]["switchover_s"]
+        for row in results
+        if row["defended"]["switchover_s"] is not None
+    ]
+    gates = {
+        "regret_budget_ms": round(budget_ms, 4),
+        "switchover_budget_s": round(switchover_budget_s, 4),
+        "defended_switchover_median_s": (
+            round(statistics.median(switchovers), 4) if switchovers else None
+        ),
+        "frr_switchovers_total": sum(
+            row["defended"].get("frr_switchovers", 0) for row in results
+        ),
+        "availability_slo": config.availability_slo,
+        "availability_two_group_slo": config.availability_two_group_slo,
+    }
+    return gates, failures
+
+
 def run_campaign(
     count: int,
     master_seed: int,
@@ -402,21 +734,15 @@ def run_campaign(
 ) -> CampaignReport:
     """Generate, shard, run, merge, and gate one campaign.
 
-    ``workers=1`` runs in-process; more fork a :mod:`multiprocessing`
-    pool with one plan per task.  Either way the merged report is sorted
-    by plan index and byte-identical for the same ``(count, master_seed,
-    config)``.
+    ``workers=1`` runs in-process; more fork a process pool with one
+    plan per task (dead shards are retried once in-process).  Either way
+    the merged report is sorted by plan index and byte-identical for the
+    same ``(count, master_seed, config)``.
     """
     config = config or CampaignConfig()
     population = generate_adversarial_plans(count, master_seed)
     payloads = [(adv.to_payload(), config) for adv in population]
-    if workers <= 1:
-        results = [_worker(args) for args in payloads]
-    else:
-        import multiprocessing
-
-        with multiprocessing.get_context("fork").Pool(workers) as pool:
-            results = pool.map(_worker, payloads, chunksize=1)
+    results, retries = _execute(_worker, run_plan, payloads, workers)
     results.sort(key=lambda row: row["index"])
     baseline = _baseline(config)
     gates, failures = _apply_gates(results, baseline, config)
@@ -428,4 +754,40 @@ def run_campaign(
         results=results,
         gates=gates,
         failures=failures,
+        experiment="E17",
+        shard_retries=retries,
+    )
+
+
+def run_correlated_campaign(
+    count: int,
+    master_seed: int,
+    workers: int = 1,
+    config: Optional[CorrelatedConfig] = None,
+) -> CampaignReport:
+    """The E18 campaign: correlated-failure plans, SRLG-defended vs
+    plain quarantine stack, gated on switchover latency, zero traffic on
+    failed risk groups, and availability through a two-group outage.
+
+    Same sharding/merge/determinism contract as :func:`run_campaign`.
+    """
+    config = config or CorrelatedConfig()
+    population = generate_correlated_plans(count, master_seed)
+    payloads = [(adv.to_payload(), config) for adv in population]
+    results, retries = _execute(
+        _correlated_worker, run_correlated_plan, payloads, workers
+    )
+    results.sort(key=lambda row: row["index"])
+    baseline = _correlated_baseline(config)
+    gates, failures = _apply_correlated_gates(results, baseline, config)
+    return CampaignReport(
+        master_seed=master_seed,
+        workers=workers,
+        config=config,
+        baseline=baseline,
+        results=results,
+        gates=gates,
+        failures=failures,
+        experiment="E18",
+        shard_retries=retries,
     )

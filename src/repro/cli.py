@@ -18,7 +18,9 @@ Eight subcommands, each a self-contained run of one slice of the system:
   a generated adversarial-plan population across worker processes, runs
   each plan defended and undefended, and writes the E17-gated
   ``BENCH_ROBUST.json`` (byte-identical for the same seed, regardless
-  of worker count).
+  of worker count); ``faults campaign --correlated`` runs the E18
+  correlated-failure family (SRLG cuts, regional outages, maintenance
+  drains) against the fate-aware fast-reroute stack instead.
 * ``profile`` — run the standard perf workloads (discovery, session
   resets, fault replay) under the full-scan baseline and the incremental
   engine + snapshot cache, print the speedup table, and write
@@ -157,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--seed", type=int, default=2026, help="campaign master seed"
+    )
+    chaos.add_argument(
+        "--correlated",
+        action="store_true",
+        help="run the E18 correlated-failure family instead (SRLG "
+        "shared-fate cuts, two-group overlaps, regional outages, "
+        "maintenance windows) gated on FRR switchover latency, zero "
+        "traffic on failed risk groups, and two-group availability",
     )
     chaos.add_argument(
         "--out",
@@ -568,7 +578,7 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
 
 
 def cmd_faults_campaign(args: argparse.Namespace) -> int:
-    from .campaign import run_campaign
+    from .campaign import run_campaign, run_correlated_campaign
 
     if args.plans < 1:
         print("tango-repro: --plans must be >= 1", file=sys.stderr)
@@ -576,26 +586,43 @@ def cmd_faults_campaign(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("tango-repro: --workers must be >= 1", file=sys.stderr)
         return 2
-    report = run_campaign(args.plans, args.seed, workers=args.workers)
+    if args.correlated:
+        report = run_correlated_campaign(
+            args.plans, args.seed, workers=args.workers
+        )
+    else:
+        report = run_campaign(args.plans, args.seed, workers=args.workers)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(report.to_json())
     gates = report.gates
     print(
-        f"E17 chaos campaign: {len(report.results)} plans, "
-        f"seed {report.master_seed}, {report.workers} worker(s)"
+        f"{report.experiment} chaos campaign: {len(report.results)} plans, "
+        f"seed {report.master_seed}, {report.workers} worker(s), "
+        f"{report.shard_retries} shard retries"
     )
-    print(
-        f"  defended regret median {gates['defended_regret_median_ms']} ms "
-        f"(budget {gates['regret_budget_ms']} ms), "
-        f"mttr median {gates['mttr_median_s']} s "
-        f"(slo {gates['mttr_slo_s']} s)"
-    )
+    if args.correlated:
+        print(
+            f"  defended switchover median "
+            f"{gates['defended_switchover_median_s']} s "
+            f"(budget {gates['switchover_budget_s']} s), "
+            f"frr switchovers {gates['frr_switchovers_total']}, "
+            f"two-group availability slo "
+            f"{gates['availability_two_group_slo']}"
+        )
+    else:
+        print(
+            f"  defended regret median "
+            f"{gates['defended_regret_median_ms']} ms "
+            f"(budget {gates['regret_budget_ms']} ms), "
+            f"mttr median {gates['mttr_median_s']} s "
+            f"(slo {gates['mttr_slo_s']} s)"
+        )
     for failure in report.failures:
         print(f"  GATE FAIL: {failure}")
     print(f"wrote {args.out}")
     if not report.passed:
         return 1
-    print("all E17 gates passed")
+    print(f"all {report.experiment} gates passed")
     return 0
 
 

@@ -62,6 +62,8 @@ from .policy import GuardedSelector, MeasuredSelector
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..profiling.core import Profiler
     from ..resilience.journal import ControllerJournal
+    from ..srlg.frr import FastReroute
+    from ..srlg.registry import SrlgRegistry
     from ..trust.policy import PeerTrustMonitor
 
 __all__ = [
@@ -191,6 +193,8 @@ class TangoController:
         journal: Optional["ControllerJournal"] = None,
         rebalancer: Optional[Callable[[float], None]] = None,
         trust: Optional["PeerTrustMonitor"] = None,
+        frr: Optional["FastReroute"] = None,
+        srlg_registry: Optional["SrlgRegistry"] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -236,6 +240,17 @@ class TangoController:
         self._heal_streak = 0
         self._cooperative_store = None
         self._last_logged_choice: Optional[float] = None
+        #: Fast reroute over shared-risk groups, ticked with the loop.
+        self.frr = frr
+        #: Failure-domain state feed; quarantine probation consults it
+        #: before probing a tunnel whose risk group is still down.
+        #: Defaults to the FRR engine's registry when one is attached.
+        self.srlg_registry = srlg_registry
+        if self.srlg_registry is None and frr is not None:
+            self.srlg_registry = frr.registry
+        #: Paths whose probation is currently held back by a down risk
+        #: group (dedupes the "probation-hold" log line per outage).
+        self._probation_held: set[int] = set()
 
     def start(self, warm: bool = False) -> None:
         """Begin (or restart) the control loop.
@@ -326,6 +341,10 @@ class TangoController:
         if self.trust is not None:
             if self.trust.poll(now) and self.journal is not None:
                 self.journal.record("trust", now, state=self.trust.state)
+        if self.frr is not None:
+            # Fast reroute first: a group event should repoint the data
+            # plane on *this* tick, before slower health machinery runs.
+            self.frr.tick(now)
         needs_health = (
             self.on_stale is not None
             or self.quarantine_policy is not None
@@ -491,10 +510,22 @@ class TangoController:
                         self._enter_quarantine(health, runtime, now, cause)
             elif runtime.state == "quarantined":
                 if now >= runtime.probation_at:
-                    runtime.state = "probation"
-                    runtime.healthy_streak = 0
-                    self.quarantined.discard(health.path_id)
-                    self._log(now, health, "probation")
+                    if self._risk_group_down(health.path_id):
+                        # The failure domain is still down: probing the
+                        # tunnel can only re-confirm the outage and burn
+                        # a backoff doubling.  Hold probation (without
+                        # growing backoff) until the group recovers.
+                        if health.path_id not in self._probation_held:
+                            self._probation_held.add(health.path_id)
+                            self._log(
+                                now, health, "probation-hold", cause="srlg-down"
+                            )
+                    else:
+                        self._probation_held.discard(health.path_id)
+                        runtime.state = "probation"
+                        runtime.healthy_streak = 0
+                        self.quarantined.discard(health.path_id)
+                        self._log(now, health, "probation")
             elif runtime.state == "probation":
                 if cause is not None:
                     self._enter_quarantine(health, runtime, now, cause)
@@ -506,6 +537,16 @@ class TangoController:
                         runtime.unhealthy_streak = 0
                         self._log(now, health, "restore")
         self._update_fallback(healths, now)
+
+    def _risk_group_down(self, path_id: int) -> bool:
+        """True when the tunnel's shared-risk group is known to be down."""
+        if self.srlg_registry is None:
+            return False
+        down = self.srlg_registry.down_groups()
+        if not down:
+            return False
+        tunnel = self.gateway.tunnel_table.by_id(path_id)
+        return tunnel is not None and bool(tunnel.srlgs & down)
 
     def _enter_quarantine(
         self,

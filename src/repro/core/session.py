@@ -22,7 +22,7 @@ freshness (one report interval plus the reverse path delay), not packets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
@@ -134,7 +134,14 @@ class TangoSession:
         gateway_a: TangoGateway,
         gateway_b: TangoGateway,
         sim: Simulator,
+        srlg_tags: Optional[
+            Mapping[str, Mapping[str, tuple[str, ...]]]
+        ] = None,
     ) -> None:
+        """``srlg_tags`` maps sending-edge name -> path ``short_label``
+        -> risk-group names; establishment stamps them (plus automatic
+        ``transit:<AS>`` tags) onto that direction's tunnels.  Omit for
+        tag-free legacy behaviour."""
         if gateway_a.config.name != pairing.a.name:
             raise ValueError("gateway_a does not match pairing.a")
         if gateway_b.config.name != pairing.b.name:
@@ -144,6 +151,7 @@ class TangoSession:
         self.gateway_a = gateway_a
         self.gateway_b = gateway_b
         self.sim = sim
+        self.srlg_tags = dict(srlg_tags) if srlg_tags else {}
         self.state: Optional[SessionState] = None
         #: Convergence snapshot cache shared by both directions'
         #: discoveries — each one's closing withdraw-and-reconverge
@@ -197,12 +205,14 @@ class TangoSession:
             local_route_prefixes=a.route_prefixes,
             remote_route_prefixes=b.route_prefixes,
             direction_base=DIRECTION_A_TO_B,
+            srlg_tags=self.srlg_tags.get(a.name),
         )
         tunnels_ba = build_tunnels(
             discovery_ba.paths,
             local_route_prefixes=b.route_prefixes,
             remote_route_prefixes=a.route_prefixes,
             direction_base=DIRECTION_B_TO_A,
+            srlg_tags=self.srlg_tags.get(b.name),
         )
         self.gateway_a.install_tunnels(b.host_prefix, tunnels_ab)
         self.gateway_b.install_tunnels(a.host_prefix, tunnels_ba)

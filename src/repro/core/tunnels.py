@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..bgp.attributes import LargeCommunity
 from ..netsim.packet import TANGO_UDP_PORT
-from .discovery import DiscoveredPath
+from .discovery import DiscoveredPath, asn_label
 
 __all__ = ["TangoTunnel", "TunnelTable", "build_tunnels", "bgp_best"]
 
@@ -39,6 +39,10 @@ class TangoTunnel:
             the prefix to this path.
         sport: tunnel UDP source port.  Unique per tunnel so each tunnel
             is one stable ECMP flow, distinct from its siblings.
+        srlgs: shared-risk link groups this tunnel's wide-area path
+            traverses — physical failure domains (conduits, regional
+            grids) plus ``transit:<AS>`` fate tags.  Empty when the
+            scenario carries no annotations (legacy behaviour).
     """
 
     path_id: int
@@ -50,6 +54,7 @@ class TangoTunnel:
     communities: frozenset[LargeCommunity] = frozenset()
     sport: int = TANGO_UDP_PORT
     short_label: str = ""
+    srlgs: frozenset[str] = frozenset()
 
     @property
     def is_default_path(self) -> bool:
@@ -127,6 +132,7 @@ def build_tunnels(
     remote_route_prefixes: tuple[ipaddress.IPv6Network, ...],
     direction_base: int,
     sport_base: int = 40000,
+    srlg_tags: Optional[Mapping[str, Sequence[str]]] = None,
 ) -> list[TangoTunnel]:
     """Turn one direction's discovered paths into tunnels.
 
@@ -141,6 +147,13 @@ def build_tunnels(
         direction_base: base path id for this direction — use
             ``direction_index * 64`` so ids never collide.
         sport_base: first UDP source port; tunnel ``i`` gets ``base + i``.
+        srlg_tags: optional scenario annotations keyed by path
+            ``short_label``.  When given, each tunnel's ``srlgs`` is the
+            annotated groups plus an automatic ``transit:<AS>`` tag per
+            transit hop (an AS is itself a shared fate: one operator's
+            backbone-wide incident takes all its paths at once).  When
+            omitted, tunnels carry no tags and every SRLG-aware consumer
+            degrades to today's behaviour.
 
     Raises:
         ValueError: when an edge exposed fewer route prefixes than
@@ -163,6 +176,11 @@ def build_tunnels(
         )
     tunnels = []
     for path in paths:
+        srlgs: frozenset[str] = frozenset()
+        if srlg_tags is not None:
+            groups = set(srlg_tags.get(path.short_label, ()))
+            groups.update(f"transit:{asn_label(asn)}" for asn in path.transit_asns)
+            srlgs = frozenset(groups)
         tunnels.append(
             TangoTunnel(
                 path_id=direction_base + path.index,
@@ -174,6 +192,7 @@ def build_tunnels(
                 communities=path.communities,
                 sport=sport_base + path.index,
                 short_label=path.short_label,
+                srlgs=srlgs,
             )
         )
     return tunnels

@@ -22,7 +22,7 @@ first-class, scriptable input:
 """
 
 from .injector import FaultInjector
-from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, maintenance_drain_s
 from .recovery import RecoveryLog, RecoveryRecord
 
 __all__ = [
@@ -32,4 +32,5 @@ __all__ = [
     "FaultInjector",
     "RecoveryLog",
     "RecoveryRecord",
+    "maintenance_drain_s",
 ]

@@ -30,7 +30,7 @@ from ..bgp.snapshot import SnapshotCache
 from ..netsim.delaymodels import AsymmetryEvent, overlay
 from ..netsim.links import ConstantLoss, Link, LossModel, OverrideLoss
 from .adversary import AdversaryChain, GrayLoss, TelemetryReplay, TelemetryTamper
-from .plan import FaultEvent, FaultPlan
+from .plan import FaultEvent, FaultPlan, maintenance_drain_s
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scenarios.deployment import PacketLevelDeployment
@@ -69,6 +69,14 @@ class FaultInjector:
         self.armed: list[str] = []
         self._bgp_saved_loss: dict[str, LossModel] = {}
         self._armed = False
+        # Overlap guard for stateful (save/apply/restore) faults: two
+        # windows targeting the same state hold a shared refcount — the
+        # first holder saves and applies, the *last* releaser restores.
+        # Without this, the earlier window's expiry restores state out
+        # from under the later window, and the later expiry double-
+        # restores a stale snapshot.
+        self._holds: dict[tuple, int] = {}
+        self._held_state: dict[tuple, object] = {}
         # BGP faults alternate between a handful of configurations (the
         # base state and each fault's degraded state), so recovery
         # convergences are snapshot restores after the first occurrence.
@@ -88,6 +96,34 @@ class FaultInjector:
             self.snapshots.converge(self.deployment.bgp)
         else:
             self.deployment.bgp.converge()
+
+    # -- overlap-safe stateful transitions ----------------------------------------
+
+    def _acquire(self, key: tuple, save, apply) -> bool:
+        """Take a hold on ``key``; save + apply only on the first hold.
+
+        Returns True when this call actually changed state (the caller
+        then converges/syncs); False when an earlier window already did.
+        """
+        count = self._holds.get(key, 0)
+        self._holds[key] = count + 1
+        if count == 0:
+            self._held_state[key] = save()
+            apply()
+            return True
+        return False
+
+    def _release(self, key: tuple, restore) -> bool:
+        """Drop a hold on ``key``; restore only when the last hold clears."""
+        count = self._holds.get(key, 0)
+        if count <= 0:
+            raise RuntimeError(f"release without matching acquire for {key!r}")
+        if count == 1:
+            del self._holds[key]
+            restore(self._held_state.pop(key))
+            return True
+        self._holds[key] = count - 1
+        return False
 
     def arm(self) -> int:
         """Arm every event of the plan.  Returns the number armed."""
@@ -185,18 +221,21 @@ class FaultInjector:
         bgp = self.deployment.bgp
         sim = self.deployment.sim
         a, b = str(event.params["a"]), str(event.params["b"])
-        saved: dict[str, tuple] = {}
+        key = ("bgp-session",) + tuple(sorted((a, b)))
 
         def go_down() -> None:
-            saved["config"] = bgp.session_config(a, b)
-            bgp.disconnect(a, b)
-            self._converge_bgp()
-            self._sync_bgp_blackholes()
+            if self._acquire(
+                key,
+                save=lambda: bgp.session_config(a, b),
+                apply=lambda: bgp.disconnect(a, b),
+            ):
+                self._converge_bgp()
+                self._sync_bgp_blackholes()
 
         def come_up() -> None:
-            bgp.connect(*saved["config"])
-            self._converge_bgp()
-            self._sync_bgp_blackholes()
+            if self._release(key, restore=lambda config: bgp.connect(*config)):
+                self._converge_bgp()
+                self._sync_bgp_blackholes()
 
         sim.schedule_at(event.at, go_down)
         sim.schedule_at(event.end, come_up)
@@ -213,18 +252,23 @@ class FaultInjector:
             )
         prefix = str(edge.route_prefixes[prefix_index])
         router = deployment.bgp.router(edge.tenant_router)
-        saved: dict[str, object] = {}
+        key = ("origination", edge.name, prefix_index)
 
         def withdraw() -> None:
-            saved["attributes"] = router.originated.get(as_prefix(prefix))
-            router.withdraw_origination(prefix)
-            self._converge_bgp()
-            self._sync_bgp_blackholes()
+            if self._acquire(
+                key,
+                save=lambda: router.originated.get(as_prefix(prefix)),
+                apply=lambda: router.withdraw_origination(prefix),
+            ):
+                self._converge_bgp()
+                self._sync_bgp_blackholes()
 
         def reannounce() -> None:
-            router.originate(prefix, saved.get("attributes"))
-            self._converge_bgp()
-            self._sync_bgp_blackholes()
+            if self._release(
+                key, restore=lambda attributes: router.originate(prefix, attributes)
+            ):
+                self._converge_bgp()
+                self._sync_bgp_blackholes()
 
         sim.schedule_at(event.at, withdraw)
         sim.schedule_at(event.end, reannounce)
@@ -232,16 +276,22 @@ class FaultInjector:
     def _arm_telemetry_drop(self, event: FaultEvent, index: int) -> None:
         deployment = self.deployment
         sim = deployment.sim
-        mirror, task = deployment.session.mirror_to(str(event.params["edge"]))
+        edge_name = str(event.params["edge"])
+        mirror, task = deployment.session.mirror_to(edge_name)
+        key = ("telemetry-mirror", edge_name)
 
         def silence() -> None:
-            task.pause()
+            self._acquire(key, save=lambda: None, apply=task.pause)
 
         def unsilence() -> None:
-            # Reports that should have been delivered during the outage
-            # are lost, not batched: discard everything already eligible.
-            mirror.discard_before(sim.now - mirror.latency_s)
-            task.resume()
+            def restore(_saved: object) -> None:
+                # Reports that should have been delivered during the
+                # outage are lost, not batched: discard everything
+                # already eligible.
+                mirror.discard_before(sim.now - mirror.latency_s)
+                task.resume()
+
+            self._release(key, restore=restore)
 
         sim.schedule_at(event.at, silence)
         sim.schedule_at(event.end, unsilence)
@@ -335,6 +385,120 @@ class FaultInjector:
             factor,
             flow_label=None if flow_label is None else int(flow_label),
         )
+
+    # -- correlated failures: shared-fate domains ----------------------------------
+
+    def _srlg_links(self, group: str) -> list[Link]:
+        """Member links of ``group``, or a loud error for unknown/empty
+        groups (the CLI's exit-2 path — a typo'd group name must not arm
+        as a silent no-op)."""
+        registry = self.deployment.srlg
+        members = registry.link_members(group)
+        if not members:
+            raise ValueError(
+                f"SRLG {group!r} has no member links in this deployment; "
+                f"known groups: {sorted(registry.groups())}"
+            )
+        return [self.deployment.net.links[name] for name in members]
+
+    def _arm_srlg_failure(self, event: FaultEvent, index: int) -> None:
+        """Shared-fate failure: every member link of one risk group goes
+        dark together for the window (fiber cut on a shared conduit).
+
+        Link loss is a pure time-function wrap per member; the registry's
+        refcounted down-marks are scheduled so overlapping windows on the
+        same group compose (the group stays down until the last clears).
+        """
+        sim = self.deployment.sim
+        registry = self.deployment.srlg
+        group = str(event.params["group"])
+        for link in self._srlg_links(group):
+            link.loss = OverrideLoss.blackhole(link.loss, event.at, event.end)
+        sim.schedule_at(event.at, lambda: registry.mark_down(group))
+        sim.schedule_at(event.end, lambda: registry.clear_down(group))
+
+    def _arm_regional_outage(self, event: FaultEvent, index: int) -> None:
+        """Node-scoped correlated failure: a region loses power — its
+        risk-group links blackhole AND every BGP session touching its
+        routers drops, so the control plane inside the domain vanishes
+        with the data plane.  Session teardown shares the refcounted
+        ``bgp-session`` holds with ``bgp_session_down``, so cross-kind
+        overlaps restore exactly once."""
+        deployment = self.deployment
+        sim = deployment.sim
+        bgp = deployment.bgp
+        registry = deployment.srlg
+        region = registry.region(str(event.params["region"]))
+        for group in region.groups:
+            for link in self._srlg_links(group):
+                link.loss = OverrideLoss.blackhole(link.loss, event.at, event.end)
+        sessions = sorted(
+            {
+                tuple(sorted((router, neighbor)))
+                for router in region.routers
+                for neighbor in bgp.router(router).neighbors
+            }
+        )
+
+        def onset() -> None:
+            for group in region.groups:
+                registry.mark_down(group)
+            changed = False
+            for a, b in sessions:
+                if self._acquire(
+                    ("bgp-session", a, b),
+                    save=lambda a=a, b=b: bgp.session_config(a, b),
+                    apply=lambda a=a, b=b: bgp.disconnect(a, b),
+                ):
+                    changed = True
+            if changed:
+                self._converge_bgp()
+                self._sync_bgp_blackholes()
+
+        def clear() -> None:
+            for group in region.groups:
+                registry.clear_down(group)
+            changed = False
+            for a, b in sessions:
+                if self._release(
+                    ("bgp-session", a, b),
+                    restore=lambda config: bgp.connect(*config),
+                ):
+                    changed = True
+            if changed:
+                self._converge_bgp()
+                self._sync_bgp_blackholes()
+
+        sim.schedule_at(event.at, onset)
+        sim.schedule_at(event.end, clear)
+
+    def _arm_maintenance_window(self, event: FaultEvent, index: int) -> None:
+        """Scheduled maintenance: drain-then-fail on one risk group.
+
+        The window is announced at ``at`` (group marked *draining* —
+        links still forward, a make-before-break controller moves
+        traffic losslessly), the links actually fail at ``at + drain``,
+        and everything clears at ``end``."""
+        sim = self.deployment.sim
+        registry = self.deployment.srlg
+        group = str(event.params["group"])
+        drain_s = maintenance_drain_s(event)
+        if not 0.0 <= drain_s < event.duration:
+            raise ValueError(
+                f"maintenance drain_s must satisfy 0 <= drain < duration, "
+                f"got drain={drain_s} duration={event.duration}"
+            )
+        fail_at = event.at + drain_s
+        for link in self._srlg_links(group):
+            link.loss = OverrideLoss.blackhole(link.loss, fail_at, event.end)
+
+        def begin_failure() -> None:
+            registry.clear_draining(group)
+            registry.mark_down(group)
+
+        sim.schedule_at(event.at, lambda: registry.mark_draining(group))
+        sim.schedule_at(fail_at, begin_failure)
+        sim.schedule_at(event.end, lambda: registry.clear_down(group))
 
     # -- BGP reachability -> data-plane coupling -----------------------------------
 

@@ -13,7 +13,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan", "maintenance_drain_s"]
 
 #: Kind -> parameters that must be present in ``FaultEvent.params``.
 _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
@@ -33,6 +33,10 @@ _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "telemetry_replay": ("src", "path", "delay_s"),
     "gray_loss": ("src", "path", "rate"),
     "clock_drift": ("edge", "ppm"),
+    # Correlated-failure kinds: shared-fate domains, not single links.
+    "srlg_failure": ("group",),
+    "regional_outage": ("region",),
+    "maintenance_window": ("group",),
 }
 
 FAULT_KINDS = frozenset(_REQUIRED_PARAMS)
@@ -53,8 +57,26 @@ _NEEDS_DURATION = frozenset(
         "telemetry_tamper",
         "telemetry_replay",
         "gray_loss",
+        "srlg_failure",
+        "regional_outage",
+        "maintenance_window",
     }
 )
+
+
+def maintenance_drain_s(event: "FaultEvent") -> float:
+    """Effective drain lead-time of a ``maintenance_window`` event.
+
+    During ``[at, at + drain)`` the group is *draining* — links still
+    forward, but the maintenance calendar has announced the window, so a
+    make-before-break controller can move traffic with zero loss.  The
+    links actually fail at ``at + drain``.  Defaults to half the window
+    capped at 0.5 s.
+    """
+    raw = event.params.get("drain_s")
+    if raw is None:
+        return min(0.5, event.duration / 2.0)
+    return float(raw)
 
 
 @dataclass(frozen=True)
@@ -109,6 +131,10 @@ class FaultEvent:
             return f"{p['a']}~{p['b']}"
         if "prefix_index" in p:
             return f"{p['edge']}:route[{p['prefix_index']}]"
+        if "group" in p:
+            return f"group:{p['group']}"
+        if "region" in p:
+            return f"region:{p['region']}"
         return str(p.get("edge", "?"))
 
     def as_dict(self) -> dict[str, Any]:

@@ -15,6 +15,11 @@ Metric definitions (also documented in EXPERIMENTS.md):
 Only path-targeted faults (``link_*``, ``loss_burst``, ``delay_spike``)
 carry these timings; control-plane faults are listed with ``-`` fields —
 their effects show up indirectly through the path faults they induce.
+Correlated kinds (``srlg_failure``, ``regional_outage``,
+``maintenance_window``) target a failure *domain* instead of a path:
+they expand to one attributed record per affected tunnel per controller
+(``group:g/<edge>:<path>``), timed from the effective onset (for
+maintenance, the end of the drain).
 
 All values are simulation times, so :meth:`RecoveryLog.format` output is
 byte-identical across replays of the same plan and seed — the property
@@ -27,12 +32,16 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..core.controller import TangoController
-from .plan import FaultEvent, FaultPlan
+from .plan import FaultEvent, FaultPlan, maintenance_drain_s
 
 __all__ = ["RecoveryRecord", "RecoveryLog"]
 
 #: Fault kinds whose target names a single wide-area path.
 _PATH_KINDS = frozenset({"link_blackhole", "link_flap", "loss_burst", "delay_spike"})
+
+#: Correlated kinds whose target is a failure domain; recovery emits one
+#: attributed record per affected tunnel per controller.
+_GROUP_KINDS = frozenset({"srlg_failure", "regional_outage", "maintenance_window"})
 
 
 def _fmt(value: Optional[float]) -> str:
@@ -100,7 +109,10 @@ class RecoveryLog:
         """
         records = []
         for event in plan.timeline:
-            records.append(cls._record_for(event, controllers))
+            if event.kind in _GROUP_KINDS:
+                records.extend(cls._group_records(event, controllers))
+            else:
+                records.append(cls._record_for(event, controllers))
         return cls(plan, records)
 
     @staticmethod
@@ -118,33 +130,8 @@ class RecoveryLog:
         path_id = _path_id_for(controller, str(event.params["path"]))
         if path_id is None:
             return base
-        detected_at = next(
-            (
-                q.t
-                for q in controller.quarantine_log
-                if q.path_id == path_id
-                and q.action == "quarantine"
-                and q.t >= event.at
-            ),
-            None,
-        )
-        rerouted_at = None
-        if detected_at is not None:
-            times = controller.choice_trace.times
-            values = controller.choice_trace.values
-            for t, choice in zip(times, values):
-                if t >= detected_at and choice != float(path_id) and choice >= 0:
-                    rerouted_at = float(t)
-                    break
-        restored_at = next(
-            (
-                q.t
-                for q in controller.quarantine_log
-                if q.path_id == path_id
-                and q.action == "restore"
-                and q.t >= event.end
-            ),
-            None,
+        detected_at, rerouted_at, restored_at = _join_timings(
+            controller, path_id, onset=event.at, cleared=event.end
         )
         return RecoveryRecord(
             kind=event.kind,
@@ -155,6 +142,54 @@ class RecoveryLog:
             rerouted_at=rerouted_at,
             restored_at=restored_at,
         )
+
+    @staticmethod
+    def _group_records(
+        event: FaultEvent, controllers: Mapping[str, TangoController]
+    ) -> list[RecoveryRecord]:
+        """Per-group attribution: one record per affected tunnel per
+        controller, target ``<event.target>/<edge>:<path>``.
+
+        A tunnel is affected when its risk groups intersect the event's.
+        ``maintenance_window`` timings are measured from the *effective*
+        onset (end of the drain) — during the drain nothing has failed
+        yet, so detection latency before it would be noise.  Falls back
+        to a single untimed record when no tunnel matches (e.g. an
+        untagged scenario)."""
+        groups = _event_groups(event, controllers)
+        onset = event.at
+        if event.kind == "maintenance_window":
+            onset = event.at + maintenance_drain_s(event)
+        records: list[RecoveryRecord] = []
+        for edge in sorted(controllers):
+            controller = controllers[edge]
+            for tunnel in controller.gateway.tunnel_table.all_tunnels():
+                if not (tunnel.srlgs & groups):
+                    continue
+                detected_at, rerouted_at, restored_at = _join_timings(
+                    controller, tunnel.path_id, onset=onset, cleared=event.end
+                )
+                records.append(
+                    RecoveryRecord(
+                        kind=event.kind,
+                        target=f"{event.target}/{edge}:{tunnel.short_label}",
+                        at=onset,
+                        cleared=event.end,
+                        detected_at=detected_at,
+                        rerouted_at=rerouted_at,
+                        restored_at=restored_at,
+                    )
+                )
+        if not records:
+            records.append(
+                RecoveryRecord(
+                    kind=event.kind,
+                    target=event.target,
+                    at=event.at,
+                    cleared=event.end,
+                )
+            )
+        return records
 
     # -- summary metrics ----------------------------------------------------------
 
@@ -171,7 +206,12 @@ class RecoveryLog:
 
     @property
     def path_fault_count(self) -> int:
-        return sum(1 for r in self.records if r.kind in _PATH_KINDS)
+        return sum(
+            1
+            for r in self.records
+            if r.kind in _PATH_KINDS
+            or (r.kind in _GROUP_KINDS and "/" in r.target)
+        )
 
     # -- deterministic rendering --------------------------------------------------
 
@@ -213,3 +253,59 @@ def _path_id_for(controller: TangoController, short_label: str) -> Optional[int]
         if tunnel.short_label == short_label or tunnel.label == short_label:
             return tunnel.path_id
     return None
+
+
+def _event_groups(
+    event: FaultEvent, controllers: Mapping[str, TangoController]
+) -> frozenset[str]:
+    """Risk groups a correlated event covers.
+
+    ``regional_outage`` needs a registry to expand the region; any
+    attached controller carrying one (``srlg_registry``) resolves it —
+    an undefended stack without a registry yields no groups, and the
+    event falls back to a single untimed record."""
+    if "group" in event.params:
+        return frozenset({str(event.params["group"])})
+    region_name = str(event.params["region"])
+    for edge in sorted(controllers):
+        registry = getattr(controllers[edge], "srlg_registry", None)
+        if registry is not None:
+            try:
+                return frozenset(registry.region(region_name).groups)
+            except LookupError:
+                continue
+    return frozenset()
+
+
+def _join_timings(
+    controller: TangoController,
+    path_id: int,
+    onset: float,
+    cleared: float,
+) -> tuple[Optional[float], Optional[float], Optional[float]]:
+    """(detected_at, rerouted_at, restored_at) for one path fault."""
+    detected_at = next(
+        (
+            q.t
+            for q in controller.quarantine_log
+            if q.path_id == path_id and q.action == "quarantine" and q.t >= onset
+        ),
+        None,
+    )
+    rerouted_at = None
+    if detected_at is not None:
+        times = controller.choice_trace.times
+        values = controller.choice_trace.values
+        for t, choice in zip(times, values):
+            if t >= detected_at and choice != float(path_id) and choice >= 0:
+                rerouted_at = float(t)
+                break
+    restored_at = next(
+        (
+            q.t
+            for q in controller.quarantine_log
+            if q.path_id == path_id and q.action == "restore" and q.t >= cleared
+        ),
+        None,
+    )
+    return detected_at, rerouted_at, restored_at

@@ -52,6 +52,9 @@ class ScenarioSpec:
             announces (bounds ``prefix_index``).
         network: the built control plane.
         tenant_routers: the edges' tenant routers (valley-free pairs).
+        srlg_groups: every shared-risk group name the scenario tags
+            (bounds ``srlg_failure`` / ``maintenance_window`` targets).
+        regions: named failure regions (bounds ``regional_outage``).
     """
 
     name: str
@@ -60,6 +63,8 @@ class ScenarioSpec:
     route_prefix_counts: dict[str, int]
     network: BgpNetwork
     tenant_routers: tuple[str, ...] = ()
+    srlg_groups: frozenset[str] = frozenset()
+    regions: tuple[str, ...] = ()
     extra_findings: list[Finding] = field(default_factory=list)
 
 
@@ -71,6 +76,8 @@ def vultr_spec() -> ScenarioSpec:
     from ..scenarios.vultr import (
         LA_TO_NY_PATHS,
         NY_TO_LA_PATHS,
+        VULTR_REGIONS,
+        VULTR_SRLG_GROUPS,
         build_bgp_network,
         make_pairing,
     )
@@ -89,6 +96,8 @@ def vultr_spec() -> ScenarioSpec:
         },
         network=build_bgp_network(),
         tenant_routers=(pairing.a.tenant_router, pairing.b.tenant_router),
+        srlg_groups=VULTR_SRLG_GROUPS,
+        regions=tuple(region.name for region in VULTR_REGIONS),
     )
 
 
@@ -263,6 +272,38 @@ def check_fault_plan(
                         f"monitor's re-estimation bound (|ppm| <= {bound:g}); "
                         "the defended controller cannot track it",
                     )
+        if event.kind in ("srlg_failure", "maintenance_window"):
+            group = str(params["group"])
+            if group not in spec.srlg_groups:
+                bad(
+                    index,
+                    f"unknown risk group {group!r}; scenario "
+                    f"{spec.name!r} tags {sorted(spec.srlg_groups)}",
+                )
+        if event.kind == "maintenance_window" and "drain_s" in params:
+            try:
+                drain = float(params["drain_s"])
+            except (TypeError, ValueError):
+                bad(
+                    index,
+                    f"maintenance_window drain_s {params['drain_s']!r} "
+                    "is not a number",
+                )
+            else:
+                if not 0.0 <= drain < event.duration:
+                    bad(
+                        index,
+                        f"maintenance_window drain_s {drain:g} must satisfy "
+                        f"0 <= drain_s < duration ({event.duration:g})",
+                    )
+        if event.kind == "regional_outage":
+            region = str(params["region"])
+            if region not in spec.regions:
+                bad(
+                    index,
+                    f"unknown region {region!r}; scenario {spec.name!r} "
+                    f"defines {sorted(spec.regions)}",
+                )
         if event.kind == "bgp_session_down":
             a, b = str(params["a"]), str(params["b"])
             for router in (a, b):

@@ -241,6 +241,9 @@ class Link:
         mtu: maximum packet size in bytes; oversized packets are dropped
             (and counted), which is how tunnel-overhead bugs surface.
         seed: loss-draw stream identifier.
+        srlgs: shared-risk link groups this link belongs to — named
+            physical failure domains (conduits, landing stations,
+            regional grids) that correlated faults take down together.
     """
 
     def __init__(
@@ -253,6 +256,7 @@ class Link:
         bandwidth_bps: Optional[float] = None,
         mtu: int = 1500,
         seed: int = 0,
+        srlgs: tuple[str, ...] = (),
     ) -> None:
         if bandwidth_bps is not None and bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
@@ -266,6 +270,7 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.mtu = mtu
         self.seed = seed
+        self.srlgs = tuple(srlgs)
         self.stats = LinkStats()
         self._drop_hook: Optional[Callable[[Packet, str], None]] = None
         self.interceptor: Optional[PacketInterceptor] = None

@@ -83,6 +83,7 @@ class Network:
         loss: Optional[LossModel] = None,
         bandwidth_bps: Optional[float] = None,
         mtu: int = 1500,
+        srlgs: tuple[str, ...] = (),
     ) -> Link:
         """Create a unidirectional link.
 
@@ -104,6 +105,7 @@ class Network:
             bandwidth_bps=bandwidth_bps,
             mtu=mtu,
             seed=self._link_seed,
+            srlgs=srlgs,
         )
         self.links[name] = link
         return link

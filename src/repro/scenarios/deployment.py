@@ -20,7 +20,7 @@ per-direction calibration tables, and inherit the rest.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from ..netsim.trace import PacketFactory, ProbeGenerator
 from ..resilience.channel import ChannelConfig
 from ..resilience.journal import ControllerJournal
 from ..resilience.supervisor import Supervisor, SupervisorPolicy
+from ..srlg import Region, SrlgRegistry
 from ..telemetry.store import MeasurementStore
 
 __all__ = ["PacketLevelDeployment"]
@@ -77,6 +78,7 @@ class PacketLevelDeployment:
         auth_key: bytes = b"",
         edge_noise_ms: tuple[float, float] = DEFAULT_EDGE_NOISE_MS,
         telemetry_channel: Optional[ChannelConfig] = None,
+        srlg_regions: Sequence[Region] = (),
     ) -> None:
         for edge in (pairing.a, pairing.b):
             if edge.name not in calibrations:
@@ -105,12 +107,32 @@ class PacketLevelDeployment:
             self.switches[edge.name] = switch
             self.gateways[edge.name] = TangoGateway(switch, edge, auth_key=auth_key)
 
+        #: Failure-domain registry shared by the injector, the
+        #: fate-aware data plane, and the controller's fast reroute.
+        self.srlg = SrlgRegistry()
+        for region in srlg_regions:
+            self.srlg.add_region(region)
+            for router in region.routers:
+                self.srlg.tag_node(router, *region.groups)
+
+        # Only edges whose calibrations carry annotations get a tag map;
+        # an un-annotated scenario passes None through to build_tunnels
+        # and keeps today's tag-free tunnels bit-for-bit.
+        srlg_tags = {}
+        for edge in (pairing.a, pairing.b):
+            tags = {
+                label: tuple(getattr(calibration, "srlgs", ()))
+                for label, calibration in calibrations[edge.name].items()
+            }
+            if any(tags.values()):
+                srlg_tags[edge.name] = tags
         self.session = TangoSession(
             pairing,
             bgp,
             self.gateways[pairing.a.name],
             self.gateways[pairing.b.name],
             self.sim,
+            srlg_tags=srlg_tags,
         )
         self.state: Optional[SessionState] = None
         self._probe_generators: list[ProbeGenerator] = []
@@ -196,7 +218,10 @@ class PacketLevelDeployment:
                 dst_switch,
                 delay=model,
                 loss=loss,
+                srlgs=tuple(sorted(tunnel.srlgs)),
             )
+            if tunnel.srlgs:
+                self.srlg.tag_link(link.name, *tunnel.srlgs)
             src_switch.fib.add_route(tunnel.remote_prefix, link)
             if tunnel.is_default_path:
                 remote_host = self.pairing.edge(dst).host_prefix

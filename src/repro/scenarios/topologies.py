@@ -14,14 +14,14 @@ Two generators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..bgp.network import BgpNetwork
 from ..bgp.router import BgpRouter
 from ..bgp.snapshot import SnapshotCache
-from ..core.discovery import DiscoveryResult, PathDiscovery
+from ..core.discovery import DiscoveryResult, PathDiscovery, asn_label
 from ..core.mesh import TangoMesh
 from ..netsim.delaymodels import ConstantDelay, GaussianJitterDelay
 from ..netsim.topology import Network
@@ -49,6 +49,14 @@ class MeshScenario:
     edge_names: list[str]
     discoveries: dict[tuple[str, str], DiscoveryResult]
     mesh: TangoMesh
+    #: (observer, announcer) -> per-discovered-path risk-group sets, in
+    #: path order.  The generated mesh has no fiber map, so the failure
+    #: domains are the transit operators themselves: ``transit:<AS>``
+    #: tags mirror what :func:`repro.core.tunnels.build_tunnels` stamps,
+    #: letting SRLG tooling reason about mesh path fate-sharing too.
+    path_srlgs: dict[tuple[str, str], tuple[frozenset[str], ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def n(self) -> int:
@@ -122,6 +130,7 @@ def build_mesh_scenario(
     for edge in edge_names:
         mesh.add_member(edge)
     discoveries: dict[tuple[str, str], DiscoveryResult] = {}
+    path_srlgs: dict[tuple[str, str], tuple[frozenset[str], ...]] = {}
     # One cache across all ordered pairs: the base state recurs after
     # every probe withdrawal, and the early suppression states of one
     # announcer recur across its observers.
@@ -140,6 +149,10 @@ def build_mesh_scenario(
                 probe_prefix=probe,
             )
             discoveries[(observer, announcer)] = result
+            path_srlgs[(observer, announcer)] = tuple(
+                frozenset(f"transit:{asn_label(a)}" for a in path.transit_asns)
+                for path in result.paths
+            )
             distance = _pair_distance(i, j, n_edges, rng)
             labeled = []
             for path in result.paths:
@@ -152,7 +165,11 @@ def build_mesh_scenario(
                 labeled.append((path.label, distance * speed * hop_tax * 1e-3))
             mesh.add_paths(observer, announcer, labeled)
     return MeshScenario(
-        bgp=bgp, edge_names=edge_names, discoveries=discoveries, mesh=mesh
+        bgp=bgp,
+        edge_names=edge_names,
+        discoveries=discoveries,
+        mesh=mesh,
+        path_srlgs=path_srlgs,
     )
 
 

@@ -52,6 +52,7 @@ from ..netsim.delaymodels import (
     SpikeProcess,
 )
 from ..resilience.channel import ChannelConfig
+from ..srlg import Region
 from .deployment import PacketLevelDeployment
 
 __all__ = [
@@ -62,6 +63,8 @@ __all__ = [
     "PathCalibration",
     "NY_TO_LA_PATHS",
     "LA_TO_NY_PATHS",
+    "VULTR_REGIONS",
+    "VULTR_SRLG_GROUPS",
     "build_bgp_network",
     "make_pairing",
     "VultrDeployment",
@@ -99,6 +102,10 @@ class PathCalibration:
     #: fluid traffic engine (repro.traffic) — the packet simulator's
     #: QueuedLink has its own bandwidth parameter and ignores this.
     capacity_bps: float = 10e9
+    #: Shared-risk link groups the path's physical infrastructure
+    #: traverses (conduits, landing stations, regional power).  Empty
+    #: tuple = no annotation; SRLG-aware features stay dormant.
+    srlgs: tuple[str, ...] = ()
 
     def build(self, include_events: bool = True) -> CompositeDelay:
         """Materialize the delay process."""
@@ -150,6 +157,16 @@ class PathCalibration:
         )
 
 
+#: Physical failure domains of the deployment.  Telia and GTT exit the
+#: LA metro through the same southern-California conduit — the AS-level
+#: view says "disjoint", the fiber map says "shared fate" — so the two
+#: *fastest* NY→LA paths die together, which is exactly the correlated
+#: case E18 gates on.  NTT/Cogent/Level3 ride their own backbones.
+SRLG_SOCAL_CONDUIT = "socal-conduit"
+SRLG_NTT_BACKBONE = "ntt-backbone"
+SRLG_COGENT_BACKBONE = "cogent-backbone"
+SRLG_LEVEL3_BACKBONE = "level3-backbone"
+
 #: NY→LA calibration (the direction Figure 4 plots).  NTT is the BGP
 #: default; its mean sits ≈30% above GTT's.  GTT carries both events.
 NY_TO_LA_PATHS: dict[str, PathCalibration] = {
@@ -160,9 +177,16 @@ NY_TO_LA_PATHS: dict[str, PathCalibration] = {
         diurnal_ms=1.2,
         seed=11,
         capacity_bps=12e9,
+        srlgs=(SRLG_NTT_BACKBONE,),
     ),
     "Telia": PathCalibration(
-        "Telia", base_ms=32.0, sigma_ms=0.25, diurnal_ms=0.5, seed=12, capacity_bps=10e9
+        "Telia",
+        base_ms=32.0,
+        sigma_ms=0.25,
+        diurnal_ms=0.5,
+        seed=12,
+        capacity_bps=10e9,
+        srlgs=(SRLG_SOCAL_CONDUIT,),
     ),
     "GTT": PathCalibration(
         "GTT",
@@ -173,6 +197,7 @@ NY_TO_LA_PATHS: dict[str, PathCalibration] = {
         with_route_change=True,
         with_instability=True,
         capacity_bps=8e9,
+        srlgs=(SRLG_SOCAL_CONDUIT,),
     ),
     "Level3": PathCalibration(
         "Level3",
@@ -182,6 +207,7 @@ NY_TO_LA_PATHS: dict[str, PathCalibration] = {
         seed=14,
         background_spikes=True,
         capacity_bps=6e9,
+        srlgs=(SRLG_LEVEL3_BACKBONE,),
     ),
 }
 
@@ -195,12 +221,25 @@ LA_TO_NY_PATHS: dict[str, PathCalibration] = {
         diurnal_ms=1.0,
         seed=21,
         capacity_bps=12e9,
+        srlgs=(SRLG_NTT_BACKBONE,),
     ),
     "Telia": PathCalibration(
-        "Telia", base_ms=33.4, sigma_ms=0.33, diurnal_ms=0.6, seed=22, capacity_bps=10e9
+        "Telia",
+        base_ms=33.4,
+        sigma_ms=0.33,
+        diurnal_ms=0.6,
+        seed=22,
+        capacity_bps=10e9,
+        srlgs=(SRLG_SOCAL_CONDUIT,),
     ),
     "GTT": PathCalibration(
-        "GTT", base_ms=28.3, sigma_ms=0.01, diurnal_ms=0.2, seed=23, capacity_bps=8e9
+        "GTT",
+        base_ms=28.3,
+        sigma_ms=0.01,
+        diurnal_ms=0.2,
+        seed=23,
+        capacity_bps=8e9,
+        srlgs=(SRLG_SOCAL_CONDUIT,),
     ),
     "Cogent": PathCalibration(
         "Cogent",
@@ -210,6 +249,7 @@ LA_TO_NY_PATHS: dict[str, PathCalibration] = {
         seed=24,
         background_spikes=True,
         capacity_bps=6e9,
+        srlgs=(SRLG_COGENT_BACKBONE,),
     ),
 }
 
@@ -218,6 +258,31 @@ LA_TO_NY_PATHS: dict[str, PathCalibration] = {
 #: hypervisor scheduling at the cloud.
 EDGE_NOISE_BASE_MS = 0.6
 EDGE_NOISE_SIGMA_MS = 0.35
+
+#: Regional blast radii: a ``regional_outage`` fault takes a region's
+#: risk-group links down *and* disconnects every BGP session of its
+#: routers.  "socal" models an LA-metro event hitting the shared conduit
+#: plus the Telia/GTT PoPs that terminate it.
+VULTR_REGIONS: tuple[Region, ...] = (
+    Region(
+        "socal",
+        routers=("gtt", "telia"),
+        groups=(SRLG_SOCAL_CONDUIT,),
+    ),
+)
+
+#: Every risk-group name a fault plan may target in this scenario —
+#: explicit physical groups plus the automatic per-transit fate tags
+#: stamped by ``build_tunnels`` (TNG105 validates plans against this).
+VULTR_SRLG_GROUPS: frozenset[str] = frozenset(
+    {
+        SRLG_SOCAL_CONDUIT,
+        SRLG_NTT_BACKBONE,
+        SRLG_COGENT_BACKBONE,
+        SRLG_LEVEL3_BACKBONE,
+    }
+    | {f"transit:{label}" for label in ("NTT", "Telia", "GTT", "Cogent", "Level3")}
+)
 
 
 def build_bgp_network() -> BgpNetwork:
@@ -335,6 +400,7 @@ class VultrDeployment(PacketLevelDeployment):
             auth_key=auth_key,
             edge_noise_ms=(EDGE_NOISE_BASE_MS, EDGE_NOISE_SIGMA_MS),
             telemetry_channel=telemetry_channel,
+            srlg_regions=VULTR_REGIONS,
         )
         # Convenience aliases used throughout the experiments.
         self.host_ny = self.hosts["ny"]

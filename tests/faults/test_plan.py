@@ -22,7 +22,10 @@ class TestFaultEvent:
         assert "telemetry_replay" in FAULT_KINDS
         assert "gray_loss" in FAULT_KINDS
         assert "clock_drift" in FAULT_KINDS
-        assert len(FAULT_KINDS) == 15
+        assert "srlg_failure" in FAULT_KINDS
+        assert "regional_outage" in FAULT_KINDS
+        assert "maintenance_window" in FAULT_KINDS
+        assert len(FAULT_KINDS) == 18
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown fault kind"):

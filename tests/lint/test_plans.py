@@ -196,6 +196,92 @@ class TestAdversarialKinds:
         ) == []
 
 
+class TestCorrelatedKinds:
+    def setup_method(self):
+        self.spec = vultr_spec()
+
+    def check(self, event):
+        return check_fault_plan(plan_of(event), self.spec)
+
+    def test_valid_correlated_events_clean(self):
+        plan = plan_of(
+            FaultEvent(
+                "srlg_failure",
+                at=1.0,
+                duration=2.0,
+                params={"group": "socal-conduit"},
+            ),
+            FaultEvent(
+                "regional_outage",
+                at=1.0,
+                duration=2.0,
+                params={"region": "socal"},
+            ),
+            FaultEvent(
+                "maintenance_window",
+                at=1.0,
+                duration=2.0,
+                params={"group": "ntt-backbone", "drain_s": 0.5},
+            ),
+        )
+        assert check_fault_plan(plan, self.spec) == []
+
+    def test_unknown_group_rejected(self):
+        findings = self.check(
+            FaultEvent(
+                "srlg_failure", at=1.0, duration=2.0,
+                params={"group": "atlantis-cable"},
+            )
+        )
+        assert len(findings) == 1
+        assert "unknown risk group 'atlantis-cable'" in findings[0].message
+
+    def test_maintenance_group_also_checked(self):
+        findings = self.check(
+            FaultEvent(
+                "maintenance_window", at=1.0, duration=2.0,
+                params={"group": "nope"},
+            )
+        )
+        assert len(findings) == 1
+        assert "unknown risk group" in findings[0].message
+
+    def test_unknown_region_rejected(self):
+        findings = self.check(
+            FaultEvent(
+                "regional_outage", at=1.0, duration=2.0,
+                params={"region": "mars"},
+            )
+        )
+        assert len(findings) == 1
+        assert "unknown region 'mars'" in findings[0].message
+
+    def test_drain_must_be_numeric_and_inside_window(self):
+        bad_value = self.check(
+            FaultEvent(
+                "maintenance_window", at=1.0, duration=2.0,
+                params={"group": "ntt-backbone", "drain_s": "soon"},
+            )
+        )
+        assert any("not a number" in f.message for f in bad_value)
+        too_long = self.check(
+            FaultEvent(
+                "maintenance_window", at=1.0, duration=2.0,
+                params={"group": "ntt-backbone", "drain_s": 2.0},
+            )
+        )
+        assert any("drain_s" in f.message for f in too_long)
+
+    def test_transit_tags_are_valid_groups(self):
+        findings = self.check(
+            FaultEvent(
+                "srlg_failure", at=1.0, duration=2.0,
+                params={"group": "transit:NTT"},
+            )
+        )
+        assert findings == []
+
+
 class TestCheckPlanFiles:
     def test_shipped_example_plans_validate_clean(self):
         plans = sorted(str(p) for p in (REPO_ROOT / "examples").glob("*.json"))

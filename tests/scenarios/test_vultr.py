@@ -187,3 +187,28 @@ class TestWorkloadPlumbing:
     def test_fast_campaign_validation(self, deployment):
         with pytest.raises(ValueError, match="t1 > t0"):
             deployment.run_fast_campaign("ny", 10.0, 10.0)
+
+
+class TestSrlgAnnotations:
+    def test_tunnels_carry_conduit_and_transit_tags(self, deployment):
+        by_label = {t.short_label: t for t in deployment.tunnels("ny")}
+        assert "socal-conduit" in by_label["GTT"].srlgs
+        assert "socal-conduit" in by_label["Telia"].srlgs
+        assert "ntt-backbone" in by_label["NTT"].srlgs
+        # Fate tags derived from the discovered transit ASNs.
+        assert "transit:GTT" in by_label["GTT"].srlgs
+        assert "transit:NTT" in by_label["NTT"].srlgs
+
+    def test_registry_maps_groups_to_both_directions(self, deployment):
+        members = deployment.srlg.link_members("socal-conduit")
+        assert len(members) == 4  # GTT+Telia, ny->la and la->ny
+        assert all(name in deployment.net.links for name in members)
+
+    def test_socal_region_registered(self, deployment):
+        region = deployment.srlg.region("socal")
+        assert set(region.routers) == {"gtt", "telia"}
+        assert region.groups == ("socal-conduit",)
+
+    def test_wan_links_expose_their_groups(self, deployment):
+        link = deployment.wan_link("ny", "GTT")
+        assert "socal-conduit" in link.srlgs
