@@ -43,7 +43,11 @@ from __future__ import annotations
 import json
 import statistics
 from dataclasses import asdict, dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:
+    from ..core.controller import TangoController
+    from ..scenarios.vultr import VultrDeployment
 
 from .plans import (
     AdversarialPlan,
@@ -107,7 +111,9 @@ class CorrelatedConfig(CampaignConfig):
     switchover_horizons: float = 1.0
 
 
-def _build_victim(defended: bool, config: CampaignConfig, defense: str = "trust"):
+def _build_victim(
+    defended: bool, config: CampaignConfig, defense: str = "trust"
+) -> tuple["VultrDeployment", "TangoController", Any, Any, Any]:
     """One victim deployment with a data stream.
 
     ``defense`` selects which defended stack is installed: ``"trust"``
@@ -180,7 +186,7 @@ def _build_victim(defended: bool, config: CampaignConfig, defense: str = "trust"
     return deployment, controller, sent, fate, frr
 
 
-def _true_delay_models(deployment) -> dict[int, object]:
+def _true_delay_models(deployment: "VultrDeployment") -> dict[int, object]:
     table = deployment.calibrations[VICTIM]
     return {
         t.path_id: table[t.short_label].build(deployment.include_events)
@@ -208,7 +214,11 @@ def _unusable_windows(adv: AdversarialPlan, horizon_s: float) -> list:
 
 
 def _regret_ms(
-    controller, models, labels, unusable, config: CampaignConfig
+    controller: "TangoController",
+    models: dict[int, Any],
+    labels: dict[int, str],
+    unusable: list[tuple[str, float, float]],
+    config: CampaignConfig,
 ) -> dict:
     """Per-tick regret of the installed choice vs the best usable path."""
     samples = []
@@ -236,7 +246,9 @@ def _regret_ms(
     }
 
 
-def _steered_s(controller, favored_id: int, window: tuple[float, float]) -> float:
+def _steered_s(
+    controller: "TangoController", favored_id: int, window: tuple[float, float]
+) -> float:
     """Longest contiguous stretch of ticks riding ``favored_id`` inside
     ``window`` — the steering-exposure metric the E17 gate bounds."""
     interval = controller.interval_s
@@ -307,7 +319,7 @@ def _run_variant(adv: AdversarialPlan, defended: bool, config: CampaignConfig) -
 
 
 def _correlated_windows(
-    adv: AdversarialPlan, deployment, horizon_s: float
+    adv: AdversarialPlan, deployment: "VultrDeployment", horizon_s: float
 ) -> list[tuple[float, float, frozenset]]:
     """``(onset, end, affected_labels)`` per correlated event, sorted by
     onset.  ``maintenance_window`` onsets at the end of its drain — the
@@ -335,7 +347,9 @@ def _correlated_windows(
 
 
 def _switchover(
-    controller, labels: dict, window: tuple[float, float, frozenset]
+    controller: "TangoController",
+    labels: dict,
+    window: tuple[float, float, frozenset],
 ) -> tuple[Optional[float], Optional[str]]:
     """(delay_s, landing label) of the first post-onset tick whose
     installed choice is outside the failed groups — the FRR latency the
@@ -352,7 +366,7 @@ def _switchover(
 
 
 def _failed_srlg_ticks(
-    controller, labels: dict, windows: list, grace_s: float
+    controller: "TangoController", labels: dict, windows: list, grace_s: float
 ) -> int:
     """Control ticks spent riding a tunnel whose risk group had already
     failed ``grace_s`` earlier — the "zero traffic on a failed SRLG
@@ -742,7 +756,9 @@ def run_campaign(
     config = config or CampaignConfig()
     population = generate_adversarial_plans(count, master_seed)
     payloads = [(adv.to_payload(), config) for adv in population]
-    results, retries = _execute(_worker, run_plan, payloads, workers)
+    # The crash-hook seam is deliberately a rebindable module global (a
+    # test must rebind it *before* the fork so children inherit it).
+    results, retries = _execute(_worker, run_plan, payloads, workers)  # tango: noqa[TNG301]
     results.sort(key=lambda row: row["index"])
     baseline = _baseline(config)
     gates, failures = _apply_gates(results, baseline, config)
@@ -774,7 +790,8 @@ def run_correlated_campaign(
     config = config or CorrelatedConfig()
     population = generate_correlated_plans(count, master_seed)
     payloads = [(adv.to_payload(), config) for adv in population]
-    results, retries = _execute(
+    # Same deliberate seam as run_campaign: see _shard_crash_hook.
+    results, retries = _execute(  # tango: noqa[TNG301]
         _correlated_worker, run_correlated_plan, payloads, workers
     )
     results.sort(key=lambda row: row["index"])

@@ -286,6 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the Gao-Rexford checks over shipped scenarios",
     )
     lint.add_argument(
+        "--flow", action="store_true",
+        help="also run the whole-program determinism-taint and "
+        "fork-safety pass (TNG2xx/TNG3xx); incremental via --flow-cache",
+    )
+    lint.add_argument(
+        "--flow-cache", default=".tango-lint-cache", metavar="DIR",
+        help="per-module summary cache for --flow "
+        "(default: .tango-lint-cache; 'none' disables caching)",
+    )
+    lint.add_argument(
         "--list-rules", action="store_true",
         help="print every rule code with its severity and summary, then exit",
     )
@@ -740,6 +750,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         write_baseline=args.write_baseline,
         plan_paths=args.plan,
         semantics=not args.no_semantics,
+        flow=args.flow,
+        flow_cache=None if args.flow_cache == "none" else args.flow_cache,
     )
 
 

@@ -30,7 +30,7 @@ from collections import deque
 from dataclasses import replace
 from typing import Callable, Optional
 
-from ..netsim.links import PacketInterceptor
+from ..netsim.links import Link, PacketInterceptor
 from ..netsim.packet import Packet, TangoHeader
 
 __all__ = [
@@ -90,12 +90,13 @@ class AdversaryChain(PacketInterceptor):
         return current
 
     @classmethod
-    def install_on(cls, link) -> "AdversaryChain":
+    def install_on(cls, link: Link) -> "AdversaryChain":
         """The link's chain, creating (and installing) one if absent."""
-        if not isinstance(link.interceptor, cls):
+        chain = link.interceptor
+        if not isinstance(chain, AdversaryChain):
             chain = cls()
             link.interceptor = chain
-        return link.interceptor
+        return chain
 
 
 class TelemetryTamper(_Stage):

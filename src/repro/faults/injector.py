@@ -23,7 +23,7 @@ delay process.)
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..bgp.messages import as_prefix
 from ..bgp.snapshot import SnapshotCache
@@ -99,7 +99,9 @@ class FaultInjector:
 
     # -- overlap-safe stateful transitions ----------------------------------------
 
-    def _acquire(self, key: tuple, save, apply) -> bool:
+    def _acquire(
+        self, key: tuple, save: Callable[[], Any], apply: Callable[[], None]
+    ) -> bool:
         """Take a hold on ``key``; save + apply only on the first hold.
 
         Returns True when this call actually changed state (the caller
@@ -113,7 +115,7 @@ class FaultInjector:
             return True
         return False
 
-    def _release(self, key: tuple, restore) -> bool:
+    def _release(self, key: tuple, restore: Callable[[Any], None]) -> bool:
         """Drop a hold on ``key``; restore only when the last hold clears."""
         count = self._holds.get(key, 0)
         if count <= 0:

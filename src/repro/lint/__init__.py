@@ -16,14 +16,26 @@ trustworthy stand-ins for real transit).  This package moves both checks
   never simulated: consistent session labeling (no transit leaks),
   valley-free path feasibility, customer/provider acyclicity, community
   actions that can actually fire, and fault plans whose targets exist.
+* :mod:`repro.lint.flow` — the whole-program pass (``--flow``):
+  import/call-graph construction, interprocedural determinism-taint
+  (``TNG201``–``TNG203``) and fork-safety (``TNG301``–``TNG303``)
+  analysis with per-module summary caching under ``.tango-lint-cache/``.
 * :mod:`repro.lint.baseline` + :mod:`repro.lint.reporters` +
   :mod:`repro.lint.runner` — the CI surface: committed-baseline
-  filtering, text/JSON reports, and the ``tango-repro lint`` command.
+  filtering, text/JSON reports, the TNG007 unused-suppression audit,
+  and the ``tango-repro lint`` command.
 """
 
 from .baseline import Baseline
-from .engine import PARSE_ERROR_CODE, FileContext, LintEngine, Rule
+from .engine import NOQA_RE, PARSE_ERROR_CODE, FileContext, LintEngine, Rule
 from .findings import Finding, Severity
+from .flow import (
+    FLOW_RULE_SUMMARIES,
+    FlowAnalyzer,
+    FlowResult,
+    ProjectGraph,
+    SummaryCache,
+)
 from .gao_rexford import (
     SEMANTIC_RULE_SUMMARIES,
     check_communities,
@@ -43,17 +55,24 @@ from .plans import (
 )
 from .reporters import render_json, render_text
 from .rules import RULE_SUMMARIES, default_rules
-from .runner import DEFAULT_BASELINE, list_rules, run_lint
+from .runner import DEFAULT_BASELINE, UNUSED_NOQA_CODE, list_rules, run_lint
 
 __all__ = [
     "Baseline",
     "DEFAULT_BASELINE",
+    "FLOW_RULE_SUMMARIES",
     "FileContext",
     "Finding",
+    "FlowAnalyzer",
+    "FlowResult",
     "LintEngine",
+    "NOQA_RE",
     "PARSE_ERROR_CODE",
+    "ProjectGraph",
     "RULE_SUMMARIES",
     "Rule",
+    "SummaryCache",
+    "UNUSED_NOQA_CODE",
     "SEMANTIC_RULE_SUMMARIES",
     "ScenarioSpec",
     "Severity",

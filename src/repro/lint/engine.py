@@ -24,21 +24,51 @@ are deliberate and auditable, not inherited from other tools.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from .findings import Finding, Severity
 
-__all__ = ["FileContext", "Rule", "LintEngine", "PARSE_ERROR_CODE"]
+__all__ = [
+    "FileContext",
+    "Rule",
+    "LintEngine",
+    "NOQA_RE",
+    "PARSE_ERROR_CODE",
+    "comment_lines",
+]
 
 #: Reserved code for files the engine cannot parse.
 PARSE_ERROR_CODE = "TNG000"
 
-_NOQA_RE = re.compile(
+#: The suppression-comment syntax, shared with the flow extractor.
+NOQA_RE = re.compile(
     r"#\s*tango:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
 )
+_NOQA_RE = NOQA_RE
+
+
+def comment_lines(source: str) -> Optional[set[int]]:
+    """Line numbers carrying a real ``#`` comment token.
+
+    A noqa must be a *comment*, not a docstring that merely shows the
+    syntax — this is what keeps the engine's own documentation from
+    suppressing (or, for TNG007, registering) anything.  Returns None
+    when the source cannot be tokenized (caller falls back to treating
+    every line as a potential comment).
+    """
+    lines: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return lines
 
 
 @dataclass
@@ -49,10 +79,13 @@ class FileContext:
     source: str
     tree: ast.AST
     lines: list[str] = field(default_factory=list)
+    comment_lines: Optional[set[int]] = None
 
     def __post_init__(self) -> None:
         if not self.lines:
             self.lines = self.source.splitlines()
+        if self.comment_lines is None:
+            self.comment_lines = comment_lines(self.source)
 
     def line_text(self, line: int) -> str:
         """The 1-based physical line (empty string when out of range)."""
@@ -63,7 +96,9 @@ class FileContext:
     def suppressed_codes(self, line: int) -> Optional[frozenset[str]]:
         """Suppression on this line: None (none), empty set (all codes),
         or the explicit code set."""
-        match = _NOQA_RE.search(self.line_text(line))
+        if self.comment_lines is not None and line not in self.comment_lines:
+            return None
+        match = NOQA_RE.search(self.line_text(line))
         if match is None:
             return None
         codes = match.group("codes")
@@ -72,6 +107,17 @@ class FileContext:
         return frozenset(
             code.strip().upper() for code in codes.split(",") if code.strip()
         )
+
+    def noqa_inventory(self) -> dict[int, Optional[list[str]]]:
+        """Every ``# tango: noqa`` comment in the file: line → code list
+        (sorted) or None for a blanket suppression."""
+        inventory: dict[int, Optional[list[str]]] = {}
+        for number, _text in enumerate(self.lines, start=1):
+            codes = self.suppressed_codes(number)
+            if codes is None:
+                continue
+            inventory[number] = sorted(codes) if codes else None
+        return inventory
 
     def finding(
         self,
@@ -139,6 +185,10 @@ class LintEngine:
                 )
             by_code = {c: r for c, r in by_code.items() if c in wanted}
         self.rules: dict[str, Rule] = by_code
+        #: Per linted path: the noqa inventory, which codes each noqa
+        #: actually silenced this run, and the comment lines' text.
+        #: Feeds the TNG007 unused-suppression rule in the runner.
+        self.suppressions: dict[str, dict[str, dict[int, object]]] = {}
 
     # -- file discovery -----------------------------------------------------------
 
@@ -203,16 +253,29 @@ class LintEngine:
 
     # -- suppression --------------------------------------------------------------
 
-    @staticmethod
     def _apply_suppressions(
-        context: FileContext, findings: list[Finding]
+        self, context: FileContext, findings: list[Finding]
     ) -> list[Finding]:
+        inventory = context.noqa_inventory()
+        used: dict[int, list[str]] = {}
         kept: list[Finding] = []
         for finding in findings:
             suppressed = context.suppressed_codes(finding.line)
             if suppressed is not None and (
                 not suppressed or finding.code in suppressed
             ):
+                bucket = used.setdefault(finding.line, [])
+                if finding.code not in bucket:
+                    bucket.append(finding.code)
                 continue
             kept.append(finding)
+        if inventory:
+            self.suppressions[context.path] = {
+                "inventory": dict(inventory),
+                "used": dict(used),
+                "text": {
+                    line: context.line_text(line).strip()
+                    for line in inventory
+                },
+            }
         return sorted(kept)

@@ -1,0 +1,47 @@
+"""``repro.lint.flow``: whole-program determinism-taint & fork-safety analysis.
+
+The per-file rules (``TNG001``–``TNG006``) see one AST at a time, so a
+wall-clock read that crosses a function boundary before reaching simulator
+state — or an RNG object pickled into a worker process — escapes them.
+This subpackage closes that gap with a *project-wide* pass:
+
+* :mod:`repro.lint.flow.extract` parses every module once into a
+  serializable :class:`~repro.lint.flow.summaries.ModuleSummary` — imports,
+  re-exports, module globals, and per-function dataflow descriptors;
+* :mod:`repro.lint.flow.callgraph` links summaries into a
+  :class:`~repro.lint.flow.callgraph.ProjectGraph` — name resolution
+  through import aliases and ``__init__`` re-exports, the import graph,
+  and its reverse closure (for cache invalidation);
+* :mod:`repro.lint.flow.taint` runs the interprocedural taint fixpoint
+  (sources: wall clock, OS entropy, environment variables, unseeded RNG
+  draws; sinks: simulator scheduling, telemetry stores, ``RecoveryLog``,
+  report writers) and emits the **TNG2xx determinism-taint** findings;
+* :mod:`repro.lint.flow.fork` models the multiprocess campaign runner's
+  fork boundary (worker entrypoints, shipped arguments, module-global
+  mutable state, per-shard seeding) and emits the **TNG3xx fork-safety**
+  findings;
+* :mod:`repro.lint.flow.cache` persists per-module summaries + findings
+  under ``.tango-lint-cache/`` keyed by content hash, invalidated
+  transitively through the import graph, so incremental
+  ``tango-repro lint --flow`` runs re-analyze only what changed.
+
+Every finding's message carries the full source→sink call chain, so the
+diagnosis is actionable without re-running the analysis in your head.
+"""
+
+from .analysis import FLOW_RULE_SUMMARIES, FlowAnalyzer, FlowResult
+from .cache import SummaryCache
+from .callgraph import ProjectGraph
+from .extract import extract_module, module_name_for
+from .summaries import ModuleSummary
+
+__all__ = [
+    "FLOW_RULE_SUMMARIES",
+    "FlowAnalyzer",
+    "FlowResult",
+    "ModuleSummary",
+    "ProjectGraph",
+    "SummaryCache",
+    "extract_module",
+    "module_name_for",
+]

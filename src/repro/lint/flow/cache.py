@@ -1,0 +1,79 @@
+"""Per-module summary/finding cache under ``.tango-lint-cache/``.
+
+One JSON file per analyzed module, keyed by the module's dotted name and
+guarded by (a) the cache format version and (b) the module's content
+hash.  An entry stores the extracted :class:`ModuleSummary` *and* the
+module's post-suppression findings plus which suppressions they used, so
+a warm incremental run can skip both the parse and the reporting pass
+for clean modules.
+
+Correctness does not depend on the cache: hashes only gate the local
+extract, and the set of modules whose *findings* may be reused is
+narrowed further by the caller through
+:meth:`repro.lint.flow.callgraph.ProjectGraph.invalidated_by` (an edit
+dirties its transitive importers too).  A cold, corrupt, or
+version-skewed cache degrades to a full re-analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional
+
+from .summaries import SUMMARY_FORMAT_VERSION
+
+__all__ = ["DEFAULT_CACHE_DIR", "SummaryCache"]
+
+DEFAULT_CACHE_DIR = ".tango-lint-cache"
+
+
+class SummaryCache:
+    """Load/store per-module analysis entries.
+
+    Args:
+        root: cache directory (created lazily on first write).  ``None``
+            disables the cache entirely (every call is a miss/no-op).
+    """
+
+    def __init__(self, root: Optional[str]) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, module: str) -> Optional[str]:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, f"{module}.json")
+
+    def get(self, module: str, content_hash: str) -> Optional[dict[str, Any]]:
+        """The cached entry for ``module`` iff version and hash match."""
+        path = self._path(module)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != SUMMARY_FORMAT_VERSION
+            or entry.get("content_hash") != content_hash
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, module: str, entry: dict[str, Any]) -> None:
+        path = self._path(module)
+        if path is None:
+            return
+        entry = {"version": SUMMARY_FORMAT_VERSION, **entry}
+        os.makedirs(self.root or ".", exist_ok=True)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, separators=(",", ":"), sort_keys=True)
+        os.replace(tmp, path)

@@ -1,0 +1,648 @@
+"""AST → :class:`~repro.lint.flow.summaries.ModuleSummary` extraction.
+
+One parse per module, run only when the module's content hash misses the
+cache.  The extractor lowers each function body into the descriptor IR
+documented in :mod:`repro.lint.flow.summaries`: order-preserving,
+control-flow-flattened (branch bodies are concatenated — a conservative
+over-approximation that can only *add* taint), and import-resolved
+(plain dotted calls carry their absolute target, relative imports are
+made absolute against the module's package).
+
+Scope rules mirror Python's closely enough for lint purposes: names
+bound in the function (params, assignments, loop/with/except targets,
+local imports) are locals; remaining reads that match a module-level
+binding are recorded as global reads (the fork-safety pass cares);
+attribute loads off imported project modules are recorded as
+cross-module global reads.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+from typing import Optional
+
+from ..engine import NOQA_RE, comment_lines
+from .summaries import Desc, FunctionSummary, GlobalInfo, ModuleSummary
+
+__all__ = ["extract_module", "module_name_for", "content_hash"]
+
+#: Method names that mutate their receiver in place — a call on a
+#: module-level binding counts as a global write.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+_INNER_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def content_hash(source: str) -> str:
+    """Stable identity of one module's text (the cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path``, walking up through packages.
+
+    ``src/repro/campaign/runner.py`` → ``repro.campaign.runner`` (the
+    walk stops at ``src`` because it has no ``__init__.py``).  A file
+    outside any package is just its stem.
+    """
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+def _is_package(path: str) -> bool:
+    return os.path.basename(path) == "__init__.py"
+
+
+class _Extractor:
+    """One module's extraction state."""
+
+    def __init__(self, module: str, path: str, source: str, tree: ast.Module):
+        self.module = module
+        self.path = path
+        self.tree = tree
+        self.package_parts = (
+            module.split(".") if _is_package(path) else module.split(".")[:-1]
+        )
+        self.summary = ModuleSummary(
+            module=module, path=path, content_hash=content_hash(source)
+        )
+        self._collect_noqa(source)
+        #: Module-scope alias map: local name -> absolute dotted origin.
+        self.module_aliases = self._collect_aliases(tree.body)
+        self._toplevel_names: set[str] = set()
+
+    # -- imports ------------------------------------------------------------------
+
+    def _absolute(self, module: Optional[str], level: int) -> Optional[str]:
+        """Make a (possibly relative) ``from`` import absolute."""
+        if level == 0:
+            return module
+        base = self.package_parts[: len(self.package_parts) - (level - 1)]
+        if not base and level > 0 and not self.package_parts:
+            return None  # relative import outside any package
+        if module:
+            return ".".join([*base, module])
+        return ".".join(base) if base else None
+
+    def _collect_aliases(self, body: list[ast.stmt]) -> dict[str, str]:
+        """Alias map for one statement list (recursing into control flow
+        but not into inner function/class scopes)."""
+        aliases: dict[str, str] = {}
+        pending = list(body)
+        while pending:
+            node = pending.pop(0)
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        aliases[root] = root
+                    self._note_dep(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                target = self._absolute(node.module, node.level)
+                if target is None:
+                    continue
+                self._note_dep(target)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    aliases[bound] = f"{target}.{alias.name}"
+                    # ``from pkg import submodule`` must edge to the
+                    # submodule, not just the package façade (the graph
+                    # normalizes symbol imports back to their module).
+                    self._note_dep(f"{target}.{alias.name}")
+            elif not isinstance(node, _INNER_SCOPES):
+                pending = list(ast.iter_child_nodes(node)) + pending
+        return aliases
+
+    def _note_dep(self, dotted: str) -> None:
+        """Record a project-internal import edge (absolute dotted)."""
+        root = self.module.split(".")[0]
+        if dotted.split(".")[0] == root and dotted != self.module:
+            if dotted not in self.summary.deps:
+                self.summary.deps.append(dotted)
+
+    # -- noqa inventory -----------------------------------------------------------
+
+    def _collect_noqa(self, source: str) -> None:
+        commented = comment_lines(source)
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if commented is not None and lineno not in commented:
+                continue
+            match = NOQA_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                self.summary.noqa[lineno] = None
+            else:
+                self.summary.noqa[lineno] = sorted(
+                    code.strip().upper()
+                    for code in codes.split(",")
+                    if code.strip()
+                )
+
+    # -- expressions --------------------------------------------------------------
+
+    def _dotted(self, node: ast.expr, aliases: dict[str, str]) -> Optional[str]:
+        """Absolute dotted target for a plain (possibly dotted) name whose
+        root is an import alias; None otherwise."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = aliases.get(node.id)
+        if origin is None:
+            return None
+        parts.reverse()
+        return ".".join([origin, *parts]) if parts else origin
+
+    def _expr(self, node: Optional[ast.expr], aliases: dict[str, str]) -> Desc:
+        """Lower one expression to a descriptor."""
+        if node is None:
+            return {"k": "const", "v": None}
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if not isinstance(value, (int, float, str, bool, type(None))):
+                value = repr(value)
+            return {"k": "const", "v": value}
+        if isinstance(node, ast.Name):
+            dotted = aliases.get(node.id)
+            if dotted is not None:
+                return {"k": "modref", "name": dotted}
+            return {"k": "name", "id": node.id, "line": node.lineno}
+        if isinstance(node, ast.Attribute):
+            dotted = self._dotted(node, aliases)
+            if dotted is not None:
+                return {"k": "modref", "name": dotted}
+            return {
+                "k": "attr",
+                "base": self._expr(node.value, aliases),
+                "attr": node.attr,
+                "line": node.lineno,
+            }
+        if isinstance(node, ast.Call):
+            dotted = self._dotted(node.func, aliases)
+            return {
+                "k": "call",
+                "dotted": dotted,
+                "fn": None if dotted else self._expr(node.func, aliases),
+                "line": node.lineno,
+                "args": [self._expr(a, aliases) for a in node.args],
+                "kw": {
+                    kw.arg: self._expr(kw.value, aliases)
+                    for kw in node.keywords
+                    if kw.arg is not None
+                },
+            }
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return {
+                "k": "tuple",
+                "items": [self._expr(e, aliases) for e in node.elts],
+            }
+        if isinstance(node, ast.Dict):
+            return {
+                "k": "tuple",
+                "items": [
+                    self._expr(v, aliases) for v in node.values if v is not None
+                ],
+            }
+        if isinstance(node, ast.Subscript):
+            return {
+                "k": "sub",
+                "base": self._expr(node.value, aliases),
+                "index": self._expr(node.slice, aliases),
+                "line": node.lineno,
+            }
+        if isinstance(node, ast.BinOp):
+            parts = [self._expr(node.left, aliases), self._expr(node.right, aliases)]
+        elif isinstance(node, ast.BoolOp):
+            parts = [self._expr(v, aliases) for v in node.values]
+        elif isinstance(node, ast.Compare):
+            parts = [
+                self._expr(node.left, aliases),
+                *(self._expr(c, aliases) for c in node.comparators),
+            ]
+        elif isinstance(node, ast.UnaryOp):
+            parts = [self._expr(node.operand, aliases)]
+        elif isinstance(node, ast.IfExp):
+            parts = [self._expr(node.body, aliases), self._expr(node.orelse, aliases)]
+        elif isinstance(node, ast.JoinedStr):
+            parts = [
+                self._expr(v.value, aliases)
+                for v in node.values
+                if isinstance(v, ast.FormattedValue)
+            ]
+        elif isinstance(node, ast.Starred):
+            parts = [self._expr(node.value, aliases)]
+        elif isinstance(node, (ast.Await, ast.NamedExpr)):
+            parts = [self._expr(node.value, aliases)]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            parts = [
+                self._expr(node.elt, aliases),
+                *(self._expr(g.iter, aliases) for g in node.generators),
+            ]
+        elif isinstance(node, ast.DictComp):
+            parts = [
+                self._expr(node.value, aliases),
+                *(self._expr(g.iter, aliases) for g in node.generators),
+            ]
+        else:
+            return {"k": "const", "v": None}  # lambdas, slices, f-spec, ...
+        return {"k": "bin", "parts": parts}
+
+    # -- statements ---------------------------------------------------------------
+
+    def _lower_body(
+        self, body: list[ast.stmt], aliases: dict[str, str], out: list[Desc]
+    ) -> None:
+        """Flatten one statement list into descriptor statements."""
+        for node in body:
+            if isinstance(node, _INNER_SCOPES):
+                continue
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue  # already folded into the alias map
+            if isinstance(node, ast.Assign):
+                value = self._expr(node.value, aliases)
+                for target in node.targets:
+                    self._lower_target(target, value, aliases, out, node.lineno)
+            elif isinstance(node, ast.AnnAssign):
+                if node.value is not None:
+                    value = self._expr(node.value, aliases)
+                    self._lower_target(
+                        node.target, value, aliases, out, node.lineno
+                    )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    merged = {
+                        "k": "bin",
+                        "parts": [
+                            {"k": "name", "id": node.target.id, "line": node.lineno},
+                            self._expr(node.value, aliases),
+                        ],
+                    }
+                    out.append(
+                        {
+                            "s": "assign",
+                            "targets": [node.target.id],
+                            "v": merged,
+                            "line": node.lineno,
+                        }
+                    )
+                else:
+                    out.append(
+                        {"s": "expr", "v": self._expr(node.value, aliases)}
+                    )
+            elif isinstance(node, (ast.Return, ast.Expr)):
+                value = getattr(node, "value", None)
+                if isinstance(node, ast.Return):
+                    out.append(
+                        {
+                            "s": "ret",
+                            "v": self._expr(value, aliases),
+                            "line": node.lineno,
+                        }
+                    )
+                elif value is not None and not isinstance(value, ast.Constant):
+                    out.append({"s": "expr", "v": self._expr(value, aliases)})
+            elif isinstance(node, ast.Global):
+                out.append({"s": "globaldecl", "names": list(node.names)})
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_desc = self._expr(node.iter, aliases)
+                element = {"k": "sub", "base": iter_desc, "index": {"k": "const", "v": None}}
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        out.append(
+                            {
+                                "s": "assign",
+                                "targets": [target.id],
+                                "v": element,
+                                "line": node.lineno,
+                            }
+                        )
+                self._lower_body(node.body, aliases, out)
+                self._lower_body(node.orelse, aliases, out)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    ctx = self._expr(item.context_expr, aliases)
+                    if isinstance(item.optional_vars, ast.Name):
+                        out.append(
+                            {
+                                "s": "assign",
+                                "targets": [item.optional_vars.id],
+                                "v": ctx,
+                                "line": node.lineno,
+                            }
+                        )
+                    else:
+                        out.append({"s": "expr", "v": ctx})
+                self._lower_body(node.body, aliases, out)
+            elif isinstance(node, (ast.If, ast.While)):
+                out.append({"s": "expr", "v": self._expr(node.test, aliases)})
+                self._lower_body(node.body, aliases, out)
+                self._lower_body(node.orelse, aliases, out)
+            elif isinstance(node, ast.Try):
+                self._lower_body(node.body, aliases, out)
+                for handler in node.handlers:
+                    self._lower_body(handler.body, aliases, out)
+                self._lower_body(node.orelse, aliases, out)
+                self._lower_body(node.finalbody, aliases, out)
+            elif isinstance(node, (ast.Raise, ast.Assert)):
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.expr):
+                        out.append({"s": "expr", "v": self._expr(child, aliases)})
+            elif isinstance(node, ast.Delete):
+                continue
+            else:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.expr):
+                        out.append({"s": "expr", "v": self._expr(child, aliases)})
+
+    def _lower_target(
+        self,
+        target: ast.expr,
+        value: Desc,
+        aliases: dict[str, str],
+        out: list[Desc],
+        line: int,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            out.append(
+                {"s": "assign", "targets": [target.id], "v": value, "line": line}
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            element = {"k": "sub", "base": value, "index": {"k": "const", "v": None}}
+            for elt in target.elts:
+                self._lower_target(elt, element, aliases, out, line)
+        elif isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            out.append(
+                {
+                    "s": "setattr",
+                    "obj": target.value.id,
+                    "attr": target.attr,
+                    "v": value,
+                    "line": line,
+                }
+            )
+        elif isinstance(target, ast.Subscript):
+            base = self._expr(target.value, aliases)
+            out.append({"s": "expr", "v": value})
+            if isinstance(target.value, ast.Name):
+                out.append(
+                    {
+                        "s": "storesub",
+                        "name": target.value.id,
+                        "line": line,
+                    }
+                )
+            _ = base
+        else:
+            out.append({"s": "expr", "v": value})
+
+    # -- function-level bookkeeping ------------------------------------------------
+
+    def _local_bindings(self, node: ast.AST) -> set[str]:
+        """Names bound anywhere in this function's own scope."""
+        bound: set[str] = set()
+        pending = list(ast.iter_child_nodes(node))
+        while pending:
+            child = pending.pop(0)
+            if isinstance(child, _INNER_SCOPES):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(child.name)
+                continue
+            if isinstance(child, ast.Name) and isinstance(
+                child.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(child.id)
+            elif isinstance(child, ast.Import):
+                for alias in child.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(child, ast.ImportFrom):
+                for alias in child.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                bound.add(child.name)
+            elif isinstance(child, ast.comprehension):
+                for name in ast.walk(child.target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+            pending.extend(ast.iter_child_nodes(child))
+        return bound
+
+    def _function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+    ) -> FunctionSummary:
+        local_aliases = dict(self.module_aliases)
+        local_aliases.update(self._collect_aliases(node.body))
+        args = node.args
+        params = [a.arg for a in [*args.posonlyargs, *args.args]]
+        summary = FunctionSummary(
+            qualname=qualname, line=node.lineno, params=params
+        )
+        positional_defaults = args.defaults
+        if positional_defaults:
+            for name, default in zip(
+                params[-len(positional_defaults):], positional_defaults
+            ):
+                summary.defaults[name] = self._expr(default, local_aliases)
+        for kwarg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                summary.params.append(kwarg.arg)
+                summary.defaults[kwarg.arg] = self._expr(default, local_aliases)
+            else:
+                summary.params.append(kwarg.arg)
+        self._lower_body(node.body, local_aliases, summary.body)
+
+        locals_bound = self._local_bindings(node) | set(summary.params)
+        global_names: set[str] = set()
+        for stmt in summary.body:
+            if stmt.get("s") == "globaldecl":
+                global_names.update(stmt["names"])
+        for child in ast.walk(node):
+            if isinstance(child, _INNER_SCOPES) and child is not node:
+                continue
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                if (
+                    child.id in self._toplevel_names
+                    and (child.id not in locals_bound or child.id in global_names)
+                ):
+                    summary.global_reads.append((child.id, child.lineno))
+            elif isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+                if child.id in global_names:
+                    summary.global_writes.append((child.id, child.lineno))
+            elif isinstance(child, ast.Attribute) and isinstance(
+                child.ctx, ast.Load
+            ):
+                dotted = self._dotted(child.value, local_aliases)
+                if dotted is not None and dotted.split(".")[0] == self.module.split(".")[0]:
+                    summary.module_attr_reads.append(
+                        (dotted, child.attr, child.lineno)
+                    )
+            elif isinstance(child, ast.Call):
+                # In-place mutation of a module global: g.append(...), g[k] = v
+                # is caught via storesub statements at eval time.
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in self._toplevel_names
+                    and func.value.id not in locals_bound
+                ):
+                    summary.global_writes.append((func.value.id, child.lineno))
+        for stmt in summary.body:
+            if stmt.get("s") == "storesub" and stmt["name"] in self._toplevel_names:
+                if stmt["name"] not in locals_bound:
+                    summary.global_writes.append((stmt["name"], stmt["line"]))
+        return summary
+
+    # -- module level -------------------------------------------------------------
+
+    def run(self) -> ModuleSummary:
+        tree = self.tree
+        # First pass: names bound at module level (for global-read scoping)
+        # and the export table.
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.summary.exports[node.name] = f"{self.module}.{node.name}"
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._toplevel_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self._toplevel_names.add(node.target.id)
+        for name, origin in self.module_aliases.items():
+            self.summary.exports.setdefault(name, origin)
+
+        # Second pass: definitions, globals inventory, top-level dataflow.
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{self.module}.{node.name}"
+                self.summary.functions[qualname] = self._function(node, qualname)
+            elif isinstance(node, ast.ClassDef):
+                class_qual = f"{self.module}.{node.name}"
+                methods: list[str] = []
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qual = f"{class_qual}.{item.name}"
+                        methods.append(method_qual)
+                        self.summary.functions[method_qual] = self._function(
+                            item, method_qual
+                        )
+                self.summary.classes[class_qual] = methods
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = getattr(node, "value", None)
+                desc = (
+                    self._expr(value, self.module_aliases)
+                    if value is not None
+                    else None
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    name = target.id
+                    if name.startswith("__") and name.endswith("__"):
+                        continue
+                    self.summary.globals[name] = GlobalInfo(
+                        name=name,
+                        line=node.lineno,
+                        mutable_value=_is_mutable_desc(value),
+                        reassignable=not name.lstrip("_").isupper(),
+                        value=desc,
+                    )
+        # Top-level executable dataflow (module import time).
+        toplevel = [
+            n
+            for n in tree.body
+            if not isinstance(
+                n,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                    ast.Import,
+                    ast.ImportFrom,
+                ),
+            )
+        ]
+        self._lower_body(toplevel, self.module_aliases, self.summary.toplevel)
+        return self.summary
+
+
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+def _is_mutable_desc(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def extract_module(path: str, source: Optional[str] = None) -> ModuleSummary:
+    """Parse ``path`` and extract its summary.
+
+    Raises :class:`SyntaxError` for unparsable files — the caller maps
+    that to the engine's ``TNG000`` convention.
+    """
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path)
+    module = module_name_for(path)
+    return _Extractor(module, path, source, tree).run()

@@ -1,0 +1,990 @@
+"""The interprocedural taint evaluator (TNG2xx) and its fixpoint.
+
+The evaluator interprets each function's descriptor IR against an
+abstract domain:
+
+* **taints** — which nondeterminism kinds a value may carry
+  (``wall-clock``, ``os-entropy``, ``environment``, ``unseeded-rng``),
+  each with the *call chain* that produced it (for the finding message);
+* **params** — which of the enclosing function's parameters the value
+  derives from (how taint summaries compose across calls);
+* **obj** — a coarse object kind for the handful of classes the rules
+  care about: RNGs (seeded or not), ``SeedSequence``, ``Simulator``,
+  process pools, open file handles, project-class instances (for method
+  dispatch), and function references (for fork entrypoints).
+
+The per-function result is a :class:`FunctionFacts`: the merged return
+value, *param→sink* summaries (``param i`` of this function reaches sink
+S through chain C), fork sites, constant-seed RNG constructions, and the
+sink hits that become findings.  Facts compose: a caller passing a
+tainted value into a callee whose summary says "param 0 reaches the
+simulator scheduler" yields a finding at the caller's call site whose
+chain stitches both halves together.
+
+Everything runs to a fixpoint (the lattice is finite — taint kinds,
+param sets — and chains are recorded once, first writer wins), then a
+reporting pass derives findings for the modules being (re-)analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..rules import _OS_ENTROPY, _RNG_CONSTRUCTORS, _WALLCLOCK
+from .callgraph import ProjectGraph
+from .summaries import Desc, FunctionSummary
+
+__all__ = [
+    "TAINT_WALLCLOCK",
+    "TAINT_ENTROPY",
+    "TAINT_ENV",
+    "TAINT_RNG",
+    "Value",
+    "FunctionFacts",
+    "Evaluator",
+]
+
+TAINT_WALLCLOCK = "wall-clock"
+TAINT_ENTROPY = "os-entropy"
+TAINT_ENV = "environment"
+TAINT_RNG = "unseeded-rng"
+
+#: Attribute names that schedule work on the shared simulator — writing a
+#: tainted value here makes *event timing* nondeterministic.
+_SIM_SINK_ATTRS = frozenset({"schedule_at", "schedule_in", "call_every"})
+#: Attribute names that persist telemetry samples replays compare.
+_TELEMETRY_SINK_ATTRS = frozenset({"record", "record_aggregate"})
+#: Report-writer surface (replay-compared output): TNG203 territory.
+_REPORT_SINK_ATTRS = frozenset({"to_json"})
+_REPORT_SINK_DOTTED = frozenset({"json.dump", "json.dumps"})
+#: Class basenames that are simulation-state sinks when constructed or
+#: fed via classmethods (``RecoveryLog.build``).
+_SINK_CLASS_BASENAMES = frozenset({"RecoveryLog"})
+
+#: Chains longer than this stop growing (first 4 + last 4 are kept).
+_MAX_CHAIN = 10
+#: Container element tracking depth (for fork-shipping checks).
+_MAX_ELEMENTS_DEPTH = 3
+
+_SIMULATOR_BASENAME = "Simulator"
+_POOL_DOTTED = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    }
+)
+_PROCESS_DOTTED = frozenset(
+    {"multiprocessing.Process", "multiprocessing.context.Process"}
+)
+_SEEDSEQ_DOTTED = frozenset({"numpy.random.SeedSequence"})
+
+
+def _clip_chain(chain: tuple[str, ...]) -> tuple[str, ...]:
+    if len(chain) <= _MAX_CHAIN:
+        return chain
+    return (*chain[:4], "...", *chain[-5:])
+
+
+@dataclass
+class Value:
+    """One abstract value."""
+
+    taints: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    params: frozenset[int] = frozenset()
+    obj: Optional[dict[str, Any]] = None
+    elements: tuple["Value", ...] = ()
+
+    @classmethod
+    def bottom(cls) -> "Value":
+        return cls()
+
+    def tainted(self) -> bool:
+        return bool(self.taints)
+
+    def with_step(self, step: str) -> "Value":
+        """A copy whose every taint chain is extended by ``step``."""
+        if not self.taints:
+            return self
+        return Value(
+            taints={
+                kind: _clip_chain((*chain, step))
+                for kind, chain in self.taints.items()
+            },
+            params=self.params,
+            obj=self.obj,
+            elements=self.elements,
+        )
+
+    @staticmethod
+    def merge(values: list["Value"]) -> "Value":
+        taints: dict[str, tuple[str, ...]] = {}
+        params: set[int] = set()
+        obj = None
+        elements: list[Value] = []
+        for value in values:
+            for kind, chain in value.taints.items():
+                taints.setdefault(kind, chain)
+            params.update(value.params)
+            if obj is None:
+                obj = value.obj
+            elements.extend(value.elements)
+        return Value(
+            taints=taints,
+            params=frozenset(params),
+            obj=obj,
+            elements=tuple(elements[:8]),
+        )
+
+    def flat_objs(self, depth: int = _MAX_ELEMENTS_DEPTH) -> list[dict[str, Any]]:
+        """This value's object kind plus its elements', recursively."""
+        objs = [] if self.obj is None else [self.obj]
+        if depth > 0:
+            for element in self.elements:
+                objs.extend(element.flat_objs(depth - 1))
+        return objs
+
+
+@dataclass
+class FunctionFacts:
+    """Derived, composable facts about one function."""
+
+    returns: Value = field(default_factory=Value.bottom)
+    #: ``{"param": i, "sink": str, "code": str, "chain": [...]}``
+    param_sinks: list[dict[str, Any]] = field(default_factory=list)
+    #: ``{"entry": qual|None, "entry_param": i|None, "ship_params": [i],
+    #:   "shipped": [obj...], "line": int, "via": [qual...]}``
+    param_forks: list[dict[str, Any]] = field(default_factory=list)
+    #: Fully-resolved fork sites found in this function.
+    fork_sites: list[dict[str, Any]] = field(default_factory=list)
+    #: ``{"line": int, "target": str}`` — RNGs built with a literal seed.
+    const_seed_rngs: list[dict[str, Any]] = field(default_factory=list)
+    #: Resolved project callees (call-graph edges).
+    calls: set[str] = field(default_factory=set)
+    #: Raw findings: ``{"code", "line", "message"}``.
+    sink_hits: list[dict[str, Any]] = field(default_factory=list)
+
+    def signature(self) -> tuple:
+        """Cheap convergence check for the fixpoint."""
+        return (
+            tuple(sorted(self.returns.taints)),
+            tuple(sorted(self.returns.params)),
+            None if self.returns.obj is None else self.returns.obj.get("kind"),
+            len(self.param_sinks),
+            len(self.param_forks),
+            len(self.fork_sites),
+            len(self.calls),
+            len(self.sink_hits),
+        )
+
+
+class Evaluator:
+    """Interprets descriptor IR against the current facts table."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self.facts: dict[str, FunctionFacts] = {}
+        #: Module name -> evaluated module-global environment.
+        self.module_env: dict[str, dict[str, Value]] = {}
+        #: Module name -> module-level sink hits / TNG202 hits.
+        self.module_hits: dict[str, list[dict[str, Any]]] = {}
+        #: Class qualname -> accumulated self-attribute environment.
+        self.class_attrs: dict[str, dict[str, Value]] = {}
+
+    # -- fixpoint -----------------------------------------------------------------
+
+    def run_fixpoint(self, max_passes: int = 12) -> None:
+        modules = sorted(self.graph.modules)
+        for name in modules:
+            self.module_env.setdefault(name, {})
+        previous: Optional[tuple] = None
+        for _ in range(max_passes):
+            for name in modules:
+                self._eval_module_level(name)
+            for name in modules:
+                summary = self.graph.modules[name]
+                for qual in sorted(summary.functions):
+                    self.facts[qual] = self._eval_function(
+                        name, summary.functions[qual]
+                    )
+            signature = tuple(
+                self.facts[q].signature() for q in sorted(self.facts)
+            )
+            if signature == previous:
+                break
+            previous = signature
+
+    # -- module-level evaluation ---------------------------------------------------
+
+    def _eval_module_level(self, module: str) -> None:
+        summary = self.graph.modules[module]
+        env = self.module_env[module]
+        hits: list[dict[str, Any]] = []
+        ctx = _FrameContext(
+            self, module, qualname=f"{module}.<module>", params={}, hits=hits
+        )
+        for stmt in summary.toplevel:
+            self._eval_stmt(stmt, env, ctx, module_level=True)
+        self.module_hits[module] = hits
+
+    # -- function evaluation -------------------------------------------------------
+
+    def _eval_function(
+        self, module: str, summary: FunctionSummary
+    ) -> FunctionFacts:
+        facts = FunctionFacts()
+        env: dict[str, Value] = {}
+        param_index = {name: i for i, name in enumerate(summary.params)}
+        class_qual = self._enclosing_class(module, summary.qualname)
+        for i, name in enumerate(summary.params):
+            value = Value(params=frozenset({i}))
+            if i == 0 and class_qual is not None and name in ("self", "cls"):
+                value = Value(
+                    params=frozenset({i}),
+                    obj={"kind": "instance", "cls": class_qual},
+                )
+            default = summary.defaults.get(name)
+            if default is not None:
+                ctx_probe = _FrameContext(
+                    self, module, summary.qualname, param_index, facts=facts
+                )
+                default_value = self._eval_expr(default, env, ctx_probe)
+                if default_value.tainted():
+                    merged = Value.merge([value, default_value])
+                    value = Value(
+                        taints={
+                            kind: _clip_chain(
+                                (*chain, f"default of parameter '{name}'")
+                            )
+                            for kind, chain in merged.taints.items()
+                        },
+                        params=value.params,
+                        obj=merged.obj,
+                        elements=merged.elements,
+                    )
+            env[name] = value
+        ctx = _FrameContext(
+            self, module, summary.qualname, param_index, facts=facts
+        )
+        for stmt in summary.body:
+            self._eval_stmt(stmt, env, ctx)
+        return facts
+
+    def _enclosing_class(self, module: str, qualname: str) -> Optional[str]:
+        prefix = qualname.rsplit(".", 1)[0]
+        summary = self.graph.modules.get(module)
+        if summary is not None and prefix in summary.classes:
+            return prefix
+        return None
+
+    # -- statements ---------------------------------------------------------------
+
+    def _eval_stmt(
+        self,
+        stmt: Desc,
+        env: dict[str, Value],
+        ctx: "_FrameContext",
+        module_level: bool = False,
+    ) -> None:
+        kind = stmt.get("s")
+        if kind == "assign":
+            value = self._eval_expr(stmt["v"], env, ctx)
+            for target in stmt["targets"]:
+                env[target] = value
+                is_global_bind = module_level or target in ctx.global_decls
+                if (
+                    is_global_bind
+                    and value.obj is not None
+                    and value.obj.get("kind") == "rng"
+                ):
+                    ctx.report(
+                        "TNG202",
+                        stmt["line"],
+                        f"RNG object ({value.obj.get('origin', 'RNG')}) is "
+                        f"aliased into module-global scope as '{target}'; "
+                        "module-global generators couple every subsystem "
+                        "that draws from them — pass an owned generator "
+                        "instead",
+                    )
+                if module_level:
+                    self.module_env[ctx.module][target] = value
+        elif kind == "ret":
+            value = self._eval_expr(stmt["v"], env, ctx)
+            if ctx.facts is not None:
+                ctx.facts.returns = Value.merge([ctx.facts.returns, value])
+        elif kind == "expr":
+            self._eval_expr(stmt["v"], env, ctx)
+        elif kind == "setattr":
+            value = self._eval_expr(stmt["v"], env, ctx)
+            obj = stmt["obj"]
+            env[f"{obj}.{stmt['attr']}"] = value
+            if obj in ("self", "cls"):
+                cls = self._enclosing_class(
+                    ctx.module, ctx.qualname
+                ) or ctx.qualname.rsplit(".", 1)[0]
+                attrs = self.class_attrs.setdefault(cls, {})
+                existing = attrs.get(stmt["attr"])
+                attrs[stmt["attr"]] = (
+                    value
+                    if existing is None
+                    else Value.merge([existing, value])
+                )
+        elif kind == "globaldecl":
+            ctx.global_decls.update(stmt["names"])
+        # "storesub" carries no dataflow; it exists for global-write
+        # bookkeeping in the extractor.
+
+    # -- expressions --------------------------------------------------------------
+
+    def _eval_expr(
+        self, desc: Desc, env: dict[str, Value], ctx: "_FrameContext"
+    ) -> Value:
+        kind = desc.get("k")
+        if kind == "const":
+            return Value(obj={"kind": "const", "value": desc.get("v")})
+        if kind == "name":
+            return self._eval_name(desc["id"], env, ctx)
+        if kind == "modref":
+            return self._eval_modref(desc["name"], ctx)
+        if kind == "attr":
+            return self._eval_attr(desc, env, ctx)
+        if kind == "call":
+            return self._eval_call(desc, env, ctx)
+        if kind == "tuple":
+            items = [self._eval_expr(d, env, ctx) for d in desc["items"]]
+            merged = Value.merge(items)
+            return Value(
+                taints=merged.taints,
+                params=merged.params,
+                obj=None,
+                elements=tuple(items[:8]),
+            )
+        if kind == "bin":
+            parts = [self._eval_expr(d, env, ctx) for d in desc["parts"]]
+            merged = Value.merge(parts)
+            return Value(taints=merged.taints, params=merged.params)
+        if kind == "sub":
+            base = self._eval_expr(desc["base"], env, ctx)
+            if (
+                base.obj is not None
+                and base.obj.get("kind") == "modref"
+                and base.obj["name"] == "os.environ"
+            ):
+                return self._source(
+                    TAINT_ENV,
+                    f"os.environ[...] read ({ctx.where(desc.get('line', 0))})",
+                )
+            merged = Value.merge([base, *base.elements])
+            return Value(taints=merged.taints, params=merged.params)
+        return Value.bottom()
+
+    def _eval_name(
+        self, name: str, env: dict[str, Value], ctx: "_FrameContext"
+    ) -> Value:
+        if name in env:
+            return env[name]
+        summary = self.graph.modules[ctx.module]
+        qual = f"{ctx.module}.{name}"
+        if qual in summary.functions:
+            return Value(obj={"kind": "func", "qual": qual})
+        if qual in summary.classes:
+            return Value(obj={"kind": "class", "qual": qual})
+        module_env = self.module_env.get(ctx.module, {})
+        if name in module_env:
+            return module_env[name]
+        resolved = summary.exports.get(name)
+        if resolved is not None:
+            return self._eval_modref(resolved, ctx)
+        return Value.bottom()
+
+    def _eval_modref(self, dotted: str, ctx: "_FrameContext") -> Value:
+        resolved = self.graph.resolve(dotted)
+        if resolved is not None:
+            return Value(obj={"kind": resolved[0], "qual": resolved[1]})
+        split = self.graph._split_module_prefix(dotted)
+        if split is not None:
+            module, remainder = split
+            if len(remainder) == 1:
+                value = self.module_env.get(module, {}).get(remainder[0])
+                if value is not None:
+                    return value
+        return Value(obj={"kind": "modref", "name": dotted})
+
+    def _eval_attr(
+        self, desc: Desc, env: dict[str, Value], ctx: "_FrameContext"
+    ) -> Value:
+        base = self._eval_expr(desc["base"], env, ctx)
+        attr = desc["attr"]
+        if base.obj is not None:
+            obj_kind = base.obj.get("kind")
+            if obj_kind == "modref":
+                return self._eval_modref(f"{base.obj['name']}.{attr}", ctx)
+            if obj_kind == "instance":
+                cls = base.obj["cls"]
+                method = f"{cls}.{attr}"
+                if method in self.graph.functions:
+                    return Value(
+                        obj={"kind": "method", "qual": method, "recv": base}
+                    )
+                attr_value = self.class_attrs.get(cls, {}).get(attr)
+                if attr_value is not None:
+                    return Value.merge([attr_value, Value(taints=base.taints)])
+        pseudo = None
+        if desc["base"].get("k") == "name":
+            pseudo = env.get(f"{desc['base']['id']}.{attr}")
+        if pseudo is not None:
+            return pseudo
+        # Unknown attribute: propagate the receiver's taints and object
+        # (drawing on a tainted thing stays tainted; rng.uniform is a
+        # bound method of an rng object).
+        return Value(
+            taints=base.taints,
+            params=base.params,
+            obj={"kind": "boundattr", "attr": attr, "recv": base},
+        )
+
+    # -- calls --------------------------------------------------------------------
+
+    def _source(self, kind: str, step: str) -> Value:
+        return Value(taints={kind: (step,)})
+
+    def _eval_call(
+        self, desc: Desc, env: dict[str, Value], ctx: "_FrameContext"
+    ) -> Value:
+        line = desc.get("line", 0)
+        args = [self._eval_expr(d, env, ctx) for d in desc.get("args", [])]
+        kwargs = {
+            name: self._eval_expr(d, env, ctx)
+            for name, d in desc.get("kw", {}).items()
+        }
+        dotted = desc.get("dotted")
+        fn_value: Optional[Value] = None
+        fn_attr: Optional[str] = None
+        recv: Optional[Value] = None
+        if dotted is None:
+            fn_desc = desc.get("fn") or {"k": "const", "v": None}
+            if fn_desc.get("k") == "attr":
+                fn_attr = fn_desc["attr"]
+                recv = self._eval_expr(fn_desc["base"], env, ctx)
+                if (
+                    recv.obj is not None
+                    and recv.obj.get("kind") == "modref"
+                ):
+                    dotted = f"{recv.obj['name']}.{fn_attr}"
+                else:
+                    fn_value = self._eval_attr(fn_desc, env, ctx)
+            else:
+                fn_value = self._eval_expr(fn_desc, env, ctx)
+                if fn_desc.get("k") == "name" and fn_value.obj is None:
+                    # Unresolved bare name: builtin or comprehension var.
+                    return self._builtin_call(fn_desc["id"], args, kwargs)
+
+        if dotted is not None:
+            return self._call_dotted(desc, dotted, args, kwargs, ctx, line)
+
+        # Attribute call on a computed receiver.
+        if fn_attr is not None and recv is not None:
+            return self._call_attr(desc, fn_attr, recv, args, kwargs, ctx, line)
+
+        # Calling a first-class value (funcref / classref / method).
+        if fn_value is not None and fn_value.obj is not None:
+            obj_kind = fn_value.obj.get("kind")
+            if obj_kind == "func":
+                return self._call_project(
+                    fn_value.obj["qual"], args, kwargs, ctx, line
+                )
+            if obj_kind == "method":
+                return self._call_project(
+                    fn_value.obj["qual"],
+                    [fn_value.obj["recv"], *args],
+                    kwargs,
+                    ctx,
+                    line,
+                )
+            if obj_kind == "class":
+                return self._construct(fn_value.obj["qual"], args, kwargs, ctx, line)
+        return self._opaque_call(args, kwargs)
+
+    def _builtin_call(
+        self, name: str, args: list[Value], kwargs: dict[str, Value]
+    ) -> Value:
+        if name == "open":
+            return Value(obj={"kind": "file", "origin": "open(...)"})
+        return self._opaque_call(args, kwargs)
+
+    def _opaque_call(
+        self, args: list[Value], kwargs: dict[str, Value]
+    ) -> Value:
+        """Unknown callable: conservatively propagate argument taints."""
+        merged = Value.merge([*args, *kwargs.values()])
+        return Value(taints=merged.taints, params=merged.params)
+
+    def _call_dotted(
+        self,
+        desc: Desc,
+        dotted: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+    ) -> Value:
+        # 1. Known nondeterminism sources.
+        if dotted in _WALLCLOCK:
+            return self._source(
+                TAINT_WALLCLOCK, f"{dotted}() ({ctx.where(line)})"
+            )
+        if dotted in _OS_ENTROPY:
+            return self._source(
+                TAINT_ENTROPY, f"{dotted}() ({ctx.where(line)})"
+            )
+        if dotted == "os.getenv" or dotted.startswith("os.environ"):
+            return self._source(
+                TAINT_ENV, f"{dotted}() ({ctx.where(line)})"
+            )
+        # 2. RNG / SeedSequence / pool / process constructors.
+        if dotted in _SEEDSEQ_DOTTED:
+            return Value(obj={"kind": "seedseq"})
+        if dotted in _RNG_CONSTRUCTORS:
+            return self._construct_rng(dotted, desc, args, kwargs, ctx, line)
+        if dotted in _POOL_DOTTED:
+            return Value(obj={"kind": "pool"})
+        if dotted in _PROCESS_DOTTED:
+            self._record_fork(desc, args, kwargs, ctx, line, entry_kw="target")
+            return Value(obj={"kind": "process"})
+        if dotted in _REPORT_SINK_DOTTED:
+            self._check_sink(
+                "report writer", "TNG203", args, kwargs, ctx, line,
+                detail=f"{dotted}()",
+            )
+            return self._opaque_call(args, kwargs)
+        # 3. Project functions / classes (possibly through re-exports).
+        resolved = self.graph.resolve(dotted)
+        if resolved is not None:
+            what, qual = resolved
+            if what == "func":
+                return self._call_project(qual, args, kwargs, ctx, line)
+            return self._construct(qual, args, kwargs, ctx, line)
+        # 4. Sink-looking dotted names (``store.record`` via module alias).
+        basename = dotted.rsplit(".", 1)[-1]
+        sink = self._sink_for_attr(basename, None)
+        if sink is not None:
+            self._check_sink(sink[0], sink[1], args, kwargs, ctx, line,
+                             detail=f"{dotted}()")
+        return self._opaque_call(args, kwargs)
+
+    def _construct_rng(
+        self,
+        dotted: str,
+        desc: Desc,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+    ) -> Value:
+        seed_value = args[0] if args else None
+        for key in ("seed", "entropy"):
+            if key in kwargs:
+                seed_value = kwargs[key]
+        seeded = seed_value is not None and not (
+            seed_value.obj is not None
+            and seed_value.obj.get("kind") == "const"
+            and seed_value.obj.get("value") is None
+        )
+        if not seeded:
+            # The generator itself is the source; every draw from it is
+            # tainted (handled via the unseeded flag at draw sites).
+            return Value(
+                taints={
+                    TAINT_RNG: (
+                        f"unseeded {dotted}() ({ctx.where(line)})",
+                    )
+                },
+                obj={"kind": "rng", "seeded": False, "origin": f"{dotted}()"},
+            )
+        if (
+            seed_value is not None
+            and seed_value.obj is not None
+            and seed_value.obj.get("kind") == "const"
+            and not seed_value.params
+        ):
+            if ctx.facts is not None:
+                ctx.facts.const_seed_rngs.append(
+                    {
+                        "line": line,
+                        "target": f"{dotted}({seed_value.obj.get('value')!r})",
+                        "where": ctx.where(line),
+                    }
+                )
+        taints = dict(seed_value.taints) if seed_value is not None else {}
+        return Value(
+            taints=taints,
+            obj={"kind": "rng", "seeded": True, "origin": f"{dotted}(seed)"},
+        )
+
+    def _sink_for_attr(
+        self, attr: str, recv: Optional[Value]
+    ) -> Optional[tuple[str, str]]:
+        if attr in _SIM_SINK_ATTRS:
+            return ("simulator event scheduling", "TNG201")
+        if attr in _TELEMETRY_SINK_ATTRS:
+            return ("telemetry store", "TNG201")
+        if attr in _REPORT_SINK_ATTRS:
+            return ("report writer", "TNG203")
+        if attr == "write" and recv is not None and recv.obj is not None:
+            if recv.obj.get("kind") == "file":
+                return ("report writer", "TNG203")
+        return None
+
+    def _call_attr(
+        self,
+        desc: Desc,
+        attr: str,
+        recv: Value,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+    ) -> Value:
+        obj = recv.obj or {}
+        obj_kind = obj.get("kind")
+        # Fork boundaries take precedence over everything.
+        if obj_kind in ("pool", "process") and attr in ("submit", "map", "apply_async"):
+            self._record_fork(desc, args, kwargs, ctx, line, entry_arg=0)
+            return self._opaque_call(args[1:], kwargs)
+        if obj_kind == "modref" and obj.get("name", "").startswith(
+            "multiprocessing"
+        ):
+            if attr in ("Process",):
+                self._record_fork(desc, args, kwargs, ctx, line, entry_kw="target")
+                return Value(obj={"kind": "process"})
+        # Sinks.
+        sink = self._sink_for_attr(attr, recv)
+        if sink is not None:
+            self._check_sink(
+                sink[0], sink[1], args, kwargs, ctx, line,
+                detail=f".{attr}()",
+            )
+            return Value.bottom()
+        # SeedSequence spawning stays a SeedSequence.
+        if obj_kind == "seedseq":
+            if attr in ("spawn", "generate_state"):
+                return Value(obj={"kind": "seedseq"})
+            return Value.bottom()
+        # Draws on an RNG object.
+        if obj_kind == "rng":
+            if not obj.get("seeded", True):
+                return Value(
+                    taints={
+                        kind: chain
+                        for kind, chain in recv.taints.items()
+                    }
+                    or {
+                        TAINT_RNG: (
+                            f"draw from unseeded RNG ({ctx.where(line)})",
+                        )
+                    },
+                    params=recv.params,
+                )
+            return Value(params=recv.params)
+        # Project instance: method dispatch.
+        if obj_kind == "instance":
+            method = f"{obj['cls']}.{attr}"
+            if method in self.graph.functions:
+                return self._call_project(
+                    method, [recv, *args], kwargs, ctx, line
+                )
+        # Unknown receiver: taints flow through.
+        return self._opaque_call([recv, *args], kwargs)
+
+    def _check_sink(
+        self,
+        sink: str,
+        code: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+        detail: str = "",
+    ) -> None:
+        values = [*args, *kwargs.values()]
+        for value in values:
+            for kind, chain in value.taints.items():
+                if code == "TNG203" and kind not in (
+                    TAINT_WALLCLOCK,
+                    TAINT_ENTROPY,
+                ):
+                    continue
+                full = [*chain, f"reaches {sink} {detail} ({ctx.where(line)})"]
+                ctx.report(
+                    code,
+                    line,
+                    self._taint_message(code, kind, full),
+                )
+            if value.params and ctx.facts is not None:
+                for index in sorted(value.params):
+                    ctx.facts.param_sinks.append(
+                        {
+                            "param": index,
+                            "sink": sink,
+                            "code": code,
+                            "chain": [
+                                f"reaches {sink} {detail} ({ctx.where(line)})"
+                            ],
+                        }
+                    )
+
+    @staticmethod
+    def _taint_message(code: str, kind: str, chain: list[str]) -> str:
+        rendered = " -> ".join(chain)
+        if code == "TNG203":
+            return (
+                f"{kind} taint reaches replay-compared output: {rendered}"
+            )
+        return (
+            f"nondeterministic value ({kind}) reaches simulation state: "
+            f"{rendered}"
+        )
+
+    def _record_fork(
+        self,
+        desc: Desc,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+        entry_arg: Optional[int] = None,
+        entry_kw: Optional[str] = None,
+    ) -> None:
+        if ctx.facts is None:
+            return
+        entry_value: Optional[Value] = None
+        shipped: list[Value] = []
+        if entry_arg is not None and len(args) > entry_arg:
+            entry_value = args[entry_arg]
+            shipped = args[entry_arg + 1:]
+        if entry_kw is not None and entry_kw in kwargs:
+            entry_value = kwargs[entry_kw]
+        shipped.extend(
+            v for k, v in kwargs.items() if k in ("args", "kwds", "kwargs")
+        )
+        entry: Optional[str] = None
+        entry_param: Optional[int] = None
+        if entry_value is not None and entry_value.obj is not None:
+            obj_kind = entry_value.obj.get("kind")
+            if obj_kind in ("func", "method"):
+                entry = entry_value.obj["qual"]
+        if entry is None and entry_value is not None and entry_value.params:
+            entry_param = min(entry_value.params)
+        shipped_objs = []
+        ship_params: set[int] = set()
+        for value in shipped:
+            for obj in value.flat_objs():
+                if obj.get("kind") in ("rng", "sim", "file"):
+                    shipped_objs.append(obj)
+            ship_params.update(value.params)
+        site = {
+            "line": line,
+            "entry": entry,
+            "entry_param": entry_param,
+            "ship_params": sorted(ship_params),
+            "shipped": shipped_objs,
+            "via": [ctx.qualname],
+        }
+        if entry_param is not None or ship_params:
+            ctx.facts.param_forks.append(site)
+        if entry is not None or shipped_objs:
+            ctx.facts.fork_sites.append(dict(site))
+
+    def _construct(
+        self,
+        class_qual: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+    ) -> Value:
+        basename = class_qual.rsplit(".", 1)[-1]
+        if basename in _SINK_CLASS_BASENAMES:
+            self._check_sink(
+                "RecoveryLog", "TNG201", args, kwargs, ctx, line,
+                detail=f"{basename}(...)",
+            )
+        init = f"{class_qual}.__init__"
+        if init in self.graph.functions:
+            self._call_project(
+                init,
+                [Value(obj={"kind": "instance", "cls": class_qual}), *args],
+                kwargs,
+                ctx,
+                line,
+            )
+        merged = Value.merge([*args, *kwargs.values()])
+        obj: dict[str, Any] = {"kind": "instance", "cls": class_qual}
+        if basename == _SIMULATOR_BASENAME:
+            obj = {"kind": "sim", "origin": f"{basename}()"}
+        return Value(
+            taints=merged.taints,
+            params=merged.params,
+            obj=obj,
+            elements=tuple([*args, *kwargs.values()][:8]),
+        )
+
+    def _call_project(
+        self,
+        qual: str,
+        args: list[Value],
+        kwargs: dict[str, Value],
+        ctx: "_FrameContext",
+        line: int,
+    ) -> Value:
+        if ctx.facts is not None:
+            ctx.facts.calls.add(qual)
+        callee_module = self.graph.functions.get(qual)
+        if callee_module is None:
+            return self._opaque_call(args, kwargs)
+        callee = self.graph.modules[callee_module].functions[qual]
+        callee_facts = self.facts.get(qual, FunctionFacts())
+        # Classmethod `build(cls, ...)` on a sink class.
+        class_prefix = qual.rsplit(".", 2)
+        if (
+            len(class_prefix) >= 2
+            and class_prefix[-2] in _SINK_CLASS_BASENAMES
+        ):
+            self._check_sink(
+                class_prefix[-2], "TNG201", args, kwargs, ctx, line,
+                detail=f"{class_prefix[-2]}.{class_prefix[-1]}(...)",
+            )
+        # Map arguments to parameter indices.
+        arg_by_index: dict[int, Value] = dict(enumerate(args))
+        for name, value in kwargs.items():
+            if name in callee.params:
+                arg_by_index[callee.params.index(name)] = value
+        # Param → sink summaries: tainted arg reaches a sink inside callee.
+        for ps in callee_facts.param_sinks:
+            value = arg_by_index.get(ps["param"])
+            if value is None:
+                continue
+            param_name = (
+                callee.params[ps["param"]]
+                if ps["param"] < len(callee.params)
+                else f"arg{ps['param']}"
+            )
+            step = (
+                f"passed to {qual}(...{param_name}...) ({ctx.where(line)})"
+            )
+            for kind, chain in value.taints.items():
+                if ps["code"] == "TNG203" and kind not in (
+                    TAINT_WALLCLOCK,
+                    TAINT_ENTROPY,
+                ):
+                    continue
+                full = [*chain, step, *ps["chain"]]
+                ctx.report(
+                    ps["code"],
+                    line,
+                    self._taint_message(ps["code"], kind, _list_clip(full)),
+                )
+            if value.params and ctx.facts is not None:
+                for index in sorted(value.params):
+                    ctx.facts.param_sinks.append(
+                        {
+                            "param": index,
+                            "sink": ps["sink"],
+                            "code": ps["code"],
+                            "chain": _list_clip([step, *ps["chain"]]),
+                        }
+                    )
+        # Param → fork summaries: entry/arguments resolved at this level.
+        for pf in callee_facts.param_forks:
+            entry = pf.get("entry")
+            if entry is None and pf.get("entry_param") is not None:
+                value = arg_by_index.get(pf["entry_param"])
+                if (
+                    value is not None
+                    and value.obj is not None
+                    and value.obj.get("kind") in ("func", "method")
+                ):
+                    entry = value.obj["qual"]
+            shipped = list(pf.get("shipped", []))
+            ship_params: set[int] = set()
+            for index in pf.get("ship_params", []):
+                value = arg_by_index.get(index)
+                if value is None:
+                    continue
+                for obj in value.flat_objs():
+                    if obj.get("kind") in ("rng", "sim", "file"):
+                        shipped.append(obj)
+                ship_params.update(value.params)
+            if ctx.facts is not None and len(pf.get("via", [])) < 6:
+                site = {
+                    "line": line,
+                    "entry": entry,
+                    "entry_param": None if entry is not None else pf.get("entry_param"),
+                    "ship_params": sorted(ship_params),
+                    "shipped": shipped,
+                    "via": [ctx.qualname, *pf.get("via", [])],
+                }
+                if entry is not None or shipped:
+                    ctx.facts.fork_sites.append(site)
+                if entry is None and (
+                    pf.get("entry_param") is not None or ship_params
+                ):
+                    ctx.facts.param_forks.append(dict(site))
+        # Return value: callee's own return taints, plus taint flowing
+        # through returned parameters.
+        result_parts = [
+            callee_facts.returns.with_step(
+                f"returned by {qual} ({ctx.where(line)})"
+            )
+        ]
+        for index in callee_facts.returns.params:
+            value = arg_by_index.get(index)
+            if value is not None and value.taints:
+                result_parts.append(
+                    value.with_step(f"through {qual} ({ctx.where(line)})")
+                )
+        merged = Value.merge(result_parts)
+        # The caller's params feeding returned values keep composing.
+        passthrough_params: set[int] = set()
+        for index in callee_facts.returns.params:
+            value = arg_by_index.get(index)
+            if value is not None:
+                passthrough_params.update(value.params)
+        return Value(
+            taints=merged.taints,
+            params=frozenset(passthrough_params),
+            obj=merged.obj if merged.obj not in (None,) else None,
+            elements=merged.elements,
+        )
+
+
+def _list_clip(chain: list[str]) -> list[str]:
+    if len(chain) <= _MAX_CHAIN:
+        return chain
+    return [*chain[:4], "...", *chain[-5:]]
+
+
+@dataclass
+class _FrameContext:
+    """Evaluation context for one function (or module) body."""
+
+    evaluator: Evaluator
+    module: str
+    qualname: str
+    params: dict[str, int]
+    facts: Optional[FunctionFacts] = None
+    hits: Optional[list[dict[str, Any]]] = None
+    global_decls: set[str] = field(default_factory=set)
+
+    def where(self, line: int) -> str:
+        path = self.evaluator.graph.modules[self.module].path
+        return f"{path}:{line}"
+
+    def report(self, code: str, line: int, message: str) -> None:
+        hit = {"code": code, "line": line, "message": message}
+        if self.facts is not None:
+            if hit not in self.facts.sink_hits:
+                self.facts.sink_hits.append(hit)
+        elif self.hits is not None:
+            if hit not in self.hits:
+                self.hits.append(hit)

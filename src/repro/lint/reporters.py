@@ -4,15 +4,24 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 from .findings import Finding
 
 __all__ = ["render_text", "render_json"]
 
 
-def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
-    """flake8-style ``path:line:col: CODE message`` lines plus a summary."""
+def render_text(
+    findings: Sequence[Finding],
+    checked_files: int = 0,
+    extra: Optional[dict[str, Any]] = None,
+) -> str:
+    """flake8-style ``path:line:col: CODE message`` lines plus a summary.
+
+    ``extra`` carries auxiliary run stats; the ``flow`` key (analyzed /
+    cached module counts from the whole-program pass) renders as one
+    trailing line.
+    """
     lines = [finding.render() for finding in findings]
     if findings:
         by_code = Counter(finding.code for finding in findings)
@@ -24,14 +33,26 @@ def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
         )
     else:
         lines.append(f"clean: 0 findings in {checked_files} file(s)")
+    if extra and extra.get("flow"):
+        flow = extra["flow"]
+        lines.append(
+            f"flow: {flow['analyzed']} module(s) analyzed, "
+            f"{flow['cached']} from cache"
+        )
     return "\n".join(lines) + "\n"
 
 
-def render_json(findings: Sequence[Finding], checked_files: int = 0) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    checked_files: int = 0,
+    extra: Optional[dict[str, Any]] = None,
+) -> str:
     """Machine-readable report (stable key order, trailing newline)."""
-    payload = {
+    payload: dict[str, Any] = {
         "checked_files": checked_files,
         "finding_count": len(findings),
         "findings": [finding.as_dict() for finding in findings],
     }
+    if extra:
+        payload.update(extra)
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,10 +1,13 @@
 """The ``tango-repro lint`` entry point, kept out of :mod:`repro.cli`.
 
-Composes the three check layers —
+Composes the check layers —
 
 1. AST determinism rules over the given files/directories,
 2. semantic Gao–Rexford checks over every shipped scenario,
 3. fault-plan validation for any ``--plan`` files,
+4. (``--flow``) the whole-program determinism-taint and fork-safety
+   pass (:mod:`repro.lint.flow`), incremental via ``.tango-lint-cache``,
+5. the TNG007 unused-suppression audit over every noqa the run judged,
 
 — then applies the baseline filter and renders a report.  Exit status:
 0 clean (or all findings baselined), 1 findings, 2 usage/configuration
@@ -14,21 +17,26 @@ errors (unknown rule code, unreadable baseline, missing path).
 from __future__ import annotations
 
 import sys
-from typing import Optional, Sequence, TextIO
+from typing import Any, Optional, Sequence, TextIO
 
 from .baseline import Baseline
 from .engine import PARSE_ERROR_CODE, LintEngine
-from .findings import Finding
+from .findings import Finding, Severity
+from .flow import FLOW_RULE_SUMMARIES, FlowAnalyzer, FlowResult, SummaryCache
+from .flow.cache import DEFAULT_CACHE_DIR
 from .gao_rexford import SEMANTIC_RULE_SUMMARIES
 from .plans import check_plan_files, check_scenario, shipped_scenario_specs
 from .reporters import render_json, render_text
 from .rules import default_rules
 
-__all__ = ["run_lint", "list_rules", "DEFAULT_BASELINE"]
+__all__ = ["run_lint", "list_rules", "DEFAULT_BASELINE", "UNUSED_NOQA_CODE"]
 
 #: Baseline the CLI picks up automatically when present (committed at the
 #: repo root, next to pyproject).
 DEFAULT_BASELINE = "lint-baseline.json"
+
+#: A ``tango: noqa`` comment that suppresses nothing is itself a finding.
+UNUSED_NOQA_CODE = "TNG007"
 
 
 def list_rules(stdout: Optional[TextIO] = None) -> int:
@@ -41,9 +49,118 @@ def list_rules(stdout: Optional[TextIO] = None) -> int:
             f"{rule.summary} [{rule.name}]",
             file=out,
         )
+    print(
+        f"{UNUSED_NOQA_CODE}  warning  "
+        "suppression comment silences no finding [unused-noqa]",
+        file=out,
+    )
     for code, summary in SEMANTIC_RULE_SUMMARIES.items():
         print(f"{code}  error    {summary}", file=out)
+    for code in sorted(FLOW_RULE_SUMMARIES):
+        print(
+            f"{code}  error    {FLOW_RULE_SUMMARIES[code]} (--flow)",
+            file=out,
+        )
     return 0
+
+
+def _family_ran(code: str, *, flow: bool, semantics: bool) -> bool:
+    """Did this run execute the rule family ``code`` belongs to?  Only
+    then can an unused suppression of it be judged."""
+    if code in (PARSE_ERROR_CODE, UNUSED_NOQA_CODE):
+        return False
+    if code.startswith("TNG1"):
+        return semantics
+    if code.startswith(("TNG2", "TNG3")):
+        return flow
+    return True  # per-file AST rules always run
+
+
+def _unused_suppressions(
+    engine: LintEngine,
+    flow_result: Optional[FlowResult],
+    *,
+    flow: bool,
+    semantics: bool,
+) -> list[Finding]:
+    """Derive TNG007 findings from this run's suppression bookkeeping.
+
+    TNG007 findings deliberately bypass noqa handling: a dead blanket
+    suppression must not be able to silence its own diagnosis.
+    """
+    # path -> line -> (codes|None, text)
+    inventory: dict[str, dict[int, tuple[Optional[list[str]], str]]] = {}
+    used: dict[str, dict[int, set[str]]] = {}
+    for path, usage in engine.suppressions.items():
+        for line, codes in usage["inventory"].items():
+            text = str(usage["text"].get(line, ""))
+            inventory.setdefault(path, {})[line] = (codes, text)  # type: ignore[arg-type]
+        for line, codes_used in usage["used"].items():
+            used.setdefault(path, {}).setdefault(line, set()).update(
+                codes_used  # type: ignore[arg-type]
+            )
+    if flow_result is not None:
+        for path, table in flow_result.suppressions.items():
+            for line, entry in table.items():
+                inventory.setdefault(path, {}).setdefault(
+                    line, (entry["codes"], entry["text"])
+                )
+        for path, table in flow_result.used.items():
+            for line, codes_used in table.items():
+                used.setdefault(path, {}).setdefault(line, set()).update(
+                    codes_used
+                )
+
+    findings: list[Finding] = []
+    for path in sorted(inventory):
+        for line in sorted(inventory[path]):
+            codes, text = inventory[path][line]
+            fired = used.get(path, {}).get(line, set())
+            if codes is None:
+                # Blanket noqa: judged only when every file-level family
+                # ran (i.e. the flow pass too) — otherwise a TNG2xx
+                # finding it legitimately silences may simply not have
+                # been computed this run.
+                if flow and not fired:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            column=0,
+                            code=UNUSED_NOQA_CODE,
+                            message=(
+                                "blanket '# tango: noqa' suppresses "
+                                "nothing — remove it or name the code it "
+                                "is meant to silence"
+                            ),
+                            severity=Severity.WARNING,
+                            snippet=text,
+                        )
+                    )
+                continue
+            dead = [
+                code
+                for code in codes
+                if _family_ran(code, flow=flow, semantics=semantics)
+                and code not in fired
+            ]
+            if dead:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        column=0,
+                        code=UNUSED_NOQA_CODE,
+                        message=(
+                            f"unused suppression: noqa[{','.join(dead)}] "
+                            "silences no finding on this line — remove "
+                            "the dead code(s) from the comment"
+                        ),
+                        severity=Severity.WARNING,
+                        snippet=text,
+                    )
+                )
+    return findings
 
 
 def run_lint(
@@ -55,6 +172,8 @@ def run_lint(
     write_baseline: Optional[str] = None,
     plan_paths: Sequence[str] = (),
     semantics: bool = True,
+    flow: bool = False,
+    flow_cache: Optional[str] = DEFAULT_CACHE_DIR,
     stdout: Optional[TextIO] = None,
     stderr: Optional[TextIO] = None,
 ) -> int:
@@ -64,22 +183,40 @@ def run_lint(
         paths: files/directories for the AST rules (may be empty when
             only semantic checks are wanted).
         fmt: ``text`` or ``json``.
-        select: comma-separated rule codes to restrict to (AST rules).
+        select: comma-separated rule codes to restrict to (AST rules
+            and, with ``flow=True``, TNG2xx/TNG3xx flow rules).
         baseline_path: baseline file to filter findings against.
         write_baseline: write the *unfiltered* findings to this baseline
             file and exit 0 (the accept-current-state workflow).
         plan_paths: fault-plan JSON files to validate against the Vultr
             scenario spec.
         semantics: run the Gao–Rexford checks over shipped scenarios.
+        flow: run the whole-program taint/fork-safety pass.
+        flow_cache: summary cache directory (None = no caching).
     """
     out = stdout if stdout is not None else sys.stdout
     err = stderr if stderr is not None else sys.stderr
 
     selected = (
-        [code for code in select.split(",") if code.strip()] if select else None
+        [code.strip().upper() for code in select.split(",") if code.strip()]
+        if select
+        else None
     )
+    flow_codes = set(FLOW_RULE_SUMMARIES)
+    engine_select: Optional[list[str]] = None
+    flow_select: Optional[set[str]] = None
+    if selected is not None:
+        flow_select = {code for code in selected if code in flow_codes}
+        engine_select = [code for code in selected if code not in flow_codes]
+        if flow_select and not flow:
+            print(
+                "tango-repro lint: rule code(s) "
+                f"{', '.join(sorted(flow_select))} require --flow",
+                file=err,
+            )
+            return 2
     try:
-        engine = LintEngine(default_rules(), select=selected)
+        engine = LintEngine(default_rules(), select=engine_select)
     except ValueError as exc:
         print(f"tango-repro lint: {exc}", file=err)
         return 2
@@ -91,15 +228,41 @@ def run_lint(
     except FileNotFoundError as exc:
         print(f"tango-repro lint: {exc}", file=err)
         return 2
-    for file_path in files:
-        findings.extend(engine.check_file(file_path))
-        checked_files += 1
+    if selected is None or engine_select:
+        for file_path in files:
+            findings.extend(engine.check_file(file_path))
+            checked_files += 1
+    else:  # only flow codes selected: skip the per-file visitors
+        checked_files = len(files)
+
+    flow_result: Optional[FlowResult] = None
+    flow_stats: Optional[dict[str, Any]] = None
+    if flow:
+        analyzer = FlowAnalyzer(SummaryCache(flow_cache))
+        flow_result = analyzer.run(files)
+        for finding in flow_result.findings:
+            if finding.code == PARSE_ERROR_CODE:
+                continue  # the per-file engine already reported it
+            if flow_select is not None and finding.code not in flow_select:
+                continue
+            findings.append(finding)
+        flow_stats = {
+            "analyzed": len(flow_result.analyzed),
+            "cached": len(flow_result.cached),
+            "cache_dir": flow_cache,
+        }
 
     if semantics and selected is None:
         for spec in shipped_scenario_specs():
             findings.extend(check_scenario(spec))
     if plan_paths:
         findings.extend(check_plan_files(list(plan_paths)))
+    if selected is None:
+        findings.extend(
+            _unused_suppressions(
+                engine, flow_result, flow=flow, semantics=semantics
+            )
+        )
     findings.sort()
 
     if write_baseline:
@@ -124,6 +287,7 @@ def run_lint(
             return 2
         findings = baseline.filter_new(findings)
 
+    extra = {"flow": flow_stats} if flow_stats is not None else None
     renderer = render_json if fmt == "json" else render_text
-    out.write(renderer(findings, checked_files))
+    out.write(renderer(findings, checked_files, extra=extra))
     return 1 if findings else 0

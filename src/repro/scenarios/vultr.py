@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import Optional
+from types import MappingProxyType
+from typing import Mapping, Optional
 
 from ..bgp.network import BgpNetwork
 from ..bgp.router import BgpRouter
@@ -169,7 +170,7 @@ SRLG_LEVEL3_BACKBONE = "level3-backbone"
 
 #: NY→LA calibration (the direction Figure 4 plots).  NTT is the BGP
 #: default; its mean sits ≈30% above GTT's.  GTT carries both events.
-NY_TO_LA_PATHS: dict[str, PathCalibration] = {
+NY_TO_LA_PATHS: Mapping[str, PathCalibration] = MappingProxyType({
     "NTT": PathCalibration(
         "NTT",
         base_ms=36.4,
@@ -209,11 +210,13 @@ NY_TO_LA_PATHS: dict[str, PathCalibration] = {
         capacity_bps=6e9,
         srlgs=(SRLG_LEVEL3_BACKBONE,),
     ),
-}
+})
 
 #: LA→NY calibration.  Jitter numbers match the paper's Section 5: GTT's
 #: 1-second rolling-window stddev ≈ 0.01 ms, Telia's ≈ 0.33 ms.
-LA_TO_NY_PATHS: dict[str, PathCalibration] = {
+#: Both tables are ``MappingProxyType`` so fork-started campaign workers
+#: can never see a parent-side mutation of shared calibration state.
+LA_TO_NY_PATHS: Mapping[str, PathCalibration] = MappingProxyType({
     "NTT": PathCalibration(
         "NTT",
         base_ms=36.6,
@@ -251,7 +254,7 @@ LA_TO_NY_PATHS: dict[str, PathCalibration] = {
         capacity_bps=6e9,
         srlgs=(SRLG_COGENT_BACKBONE,),
     ),
-}
+})
 
 #: Edge-network noise (what Tango's border placement avoids but end-host
 #: measurements include): wireless retransmissions in the access network,

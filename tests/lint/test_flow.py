@@ -1,0 +1,515 @@
+"""The whole-program flow pass: call graph, taint, fork safety, cache.
+
+Fixtures are miniature packages written to ``tmp_path`` — each test
+builds the smallest project exhibiting one cross-module property the
+per-file rules cannot see.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.engine import LintEngine
+from repro.lint.flow import (
+    FlowAnalyzer,
+    ProjectGraph,
+    SummaryCache,
+    extract_module,
+    module_name_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src" / "repro")
+
+
+def write_project(tmp_path: Path, files: dict) -> Path:
+    root = tmp_path / "proj"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text(files.pop("__init__.py", ""))
+    for name, source in files.items():
+        target = root / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if target.parent != root and not (target.parent / "__init__.py").exists():
+            (target.parent / "__init__.py").write_text("")
+        target.write_text(source)
+    return root
+
+
+def analyze(root: Path, cache_dir=None):
+    files = list(LintEngine.iter_python_files([str(root)]))
+    cache = SummaryCache(str(cache_dir) if cache_dir else None)
+    return FlowAnalyzer(cache).run(files)
+
+
+def codes(result):
+    return sorted(f.code for f in result.findings)
+
+
+class TestExtraction:
+    def test_module_name_walks_packages(self, tmp_path):
+        root = write_project(tmp_path, {"sub/leaf.py": "x = 1\n"})
+        assert module_name_for(str(root / "sub" / "leaf.py")) == "proj.sub.leaf"
+        assert module_name_for(str(root / "__init__.py")) == "proj"
+
+    def test_deps_and_exports(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "__init__.py": "from .clock import stamp\n",
+                "clock.py": "import time\n\ndef stamp():\n    return time.time()\n",
+            },
+        )
+        summary = extract_module(str(root / "__init__.py"))
+        assert "proj.clock" in summary.deps
+        assert summary.exports["stamp"] == "proj.clock.stamp"
+
+    def test_noqa_in_docstring_is_not_inventory(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "doc.py": (
+                    '"""Shows the syntax: # tango: noqa[TNG001]."""\n'
+                    "x = 1  # tango: noqa[TNG001]\n"
+                ),
+            },
+        )
+        summary = extract_module(str(root / "doc.py"))
+        assert list(summary.noqa) == [2]
+
+
+class TestCallGraph:
+    def build(self, tmp_path, files):
+        root = write_project(tmp_path, files)
+        paths = LintEngine.iter_python_files([str(root)])
+        return ProjectGraph(extract_module(p) for p in paths)
+
+    def test_resolve_through_reexport_facade(self, tmp_path):
+        graph = self.build(
+            tmp_path,
+            {
+                "__init__.py": "from .clock import stamp\n",
+                "clock.py": "def stamp():\n    return 0\n",
+            },
+        )
+        assert graph.resolve("proj.stamp") == ("func", "proj.clock.stamp")
+        assert graph.resolve("proj.clock.stamp") == ("func", "proj.clock.stamp")
+        assert graph.resolve("os.path.join") is None
+
+    def test_import_cycle_does_not_diverge(self, tmp_path):
+        graph = self.build(
+            tmp_path,
+            {
+                "a.py": "from proj import b\n\ndef fa():\n    return b.fb()\n",
+                "b.py": "def fb():\n    from proj import a\n    return 0\n",
+            },
+        )
+        dirty = graph.invalidated_by(["proj.a"])
+        assert {"proj.a", "proj.b"} <= dirty
+
+    def test_invalidation_covers_transitive_importers(self, tmp_path):
+        graph = self.build(
+            tmp_path,
+            {
+                "leaf.py": "X = 1\n",
+                "mid.py": "from proj.leaf import X\n",
+                "top.py": "from proj.mid import X\n",
+                "other.py": "Y = 2\n",
+            },
+        )
+        dirty = graph.invalidated_by(["proj.leaf"])
+        assert {"proj.leaf", "proj.mid", "proj.top"} <= dirty
+        assert "proj.other" not in dirty
+
+
+class TestDeterminismTaint:
+    def test_wallclock_through_helper_chain(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "clock.py": (
+                    "import time\n\n\ndef stamp():\n    return time.time()\n"
+                ),
+                "engine.py": (
+                    "from proj.clock import stamp\n\n\n"
+                    "def drive(sim):\n"
+                    "    sim.schedule_at(stamp(), None)\n"
+                ),
+            },
+        )
+        result = analyze(root)
+        assert codes(result) == ["TNG201"]
+        finding = result.findings[0]
+        assert finding.path.endswith("engine.py")
+        assert "time.time" in finding.message
+        assert "schedule_at" in finding.message
+        assert "->" in finding.message  # the full source→sink chain
+
+    def test_taint_through_default_argument(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "jit.py": (
+                    "import time\n\n\n"
+                    "def jitter(delay=time.time()):\n"
+                    "    return delay\n\n\n"
+                    "def drive(sim):\n"
+                    "    sim.schedule_at(jitter(), None)\n"
+                ),
+            },
+        )
+        result = analyze(root)
+        assert "TNG201" in codes(result)
+
+    def test_unseeded_rng_leak_across_modules(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "randsrc.py": (
+                    "import numpy as np\n\n"
+                    "GEN = np.random.default_rng()\n\n\n"
+                    "def draw():\n    return GEN.uniform()\n"
+                ),
+                "consume.py": (
+                    "from proj.randsrc import draw\n\n\n"
+                    "def feed(store):\n    store.record(draw())\n"
+                ),
+            },
+        )
+        result = analyze(root)
+        got = codes(result)
+        assert "TNG202" in got  # the module-global generator itself
+        assert "TNG201" in got  # its draw reaching the telemetry store
+        leak = [f for f in result.findings if f.code == "TNG201"][0]
+        assert leak.path.endswith("consume.py")
+        assert "unseeded" in leak.message
+
+    def test_method_dispatch_on_instance(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "disp.py": (
+                    "import time\n\n\n"
+                    "class Clock:\n"
+                    "    def now(self):\n"
+                    "        return time.time()\n\n\n"
+                    "def use(sim):\n"
+                    "    c = Clock()\n"
+                    "    sim.schedule_at(c.now(), None)\n"
+                ),
+            },
+        )
+        result = analyze(root)
+        assert "TNG201" in codes(result)
+
+    def test_wallclock_in_report_output(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "rep.py": (
+                    "import json\nimport time\n\n\n"
+                    "def report():\n"
+                    '    payload = {"t": time.time()}\n'
+                    "    return json.dumps(payload)\n"
+                ),
+            },
+        )
+        result = analyze(root)
+        assert codes(result) == ["TNG203"]
+        assert "replay-compared output" in result.findings[0].message
+
+    def test_seeded_rng_draw_is_clean(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "ok.py": (
+                    "import numpy as np\n\n\n"
+                    "def drive(sim, seed):\n"
+                    "    rng = np.random.default_rng(seed)\n"
+                    "    sim.schedule_at(rng.uniform(), None)\n"
+                ),
+            },
+        )
+        assert codes(analyze(root)) == []
+
+
+FORK_FIXTURE = {
+    "work.py": (
+        "import numpy as np\n\n"
+        "_registry = {}\n\n\n"
+        "def work(args):\n"
+        '    scale = _registry.get("scale", 1.0)\n'
+        "    rng = np.random.default_rng(42)\n"
+        "    return rng.uniform() * scale\n"
+    ),
+    "launch.py": (
+        "from concurrent.futures import ProcessPoolExecutor\n\n"
+        "import numpy as np\n\n"
+        "from proj.work import work\n\n\n"
+        "def launch(payloads):\n"
+        "    rng = np.random.default_rng(123)\n"
+        "    pool = ProcessPoolExecutor(2)\n"
+        "    return pool.submit(work, (payloads, rng))\n"
+    ),
+}
+
+
+class TestForkSafety:
+    def test_fork_fixture_trips_all_three_rules(self, tmp_path):
+        root = write_project(tmp_path, dict(FORK_FIXTURE))
+        result = analyze(root)
+        got = codes(result)
+        assert "TNG301" in got  # _registry read from worker
+        assert "TNG302" in got  # rng shipped in submit args
+        assert "TNG303" in got  # default_rng(42) inside the worker
+        by_code = {f.code: f for f in result.findings}
+        assert by_code["TNG301"].path.endswith("launch.py")
+        assert "_registry" in by_code["TNG301"].message
+        assert "fork boundary" in by_code["TNG301"].message
+        assert "RNG" in by_code["TNG302"].message
+        assert "SeedSequence" in by_code["TNG303"].message
+
+    def test_fork_findings_are_suppressible(self, tmp_path):
+        files = dict(FORK_FIXTURE)
+        files["launch.py"] = files["launch.py"].replace(
+            "    return pool.submit(work, (payloads, rng))",
+            "    return pool.submit(work, (payloads, rng))"
+            "  # tango: noqa[TNG301,TNG302,TNG303]",
+        )
+        root = write_project(tmp_path, files)
+        result = analyze(root)
+        assert codes(result) == []
+        launch = [p for p in result.used if p.endswith("launch.py")][0]
+        assert set().union(*result.used[launch].values()) == {
+            "TNG301",
+            "TNG302",
+            "TNG303",
+        }
+
+    def test_entry_resolved_through_param_passing(self, tmp_path):
+        # run() forwards the worker through an _execute-style helper, so
+        # the fork site only resolves interprocedurally.
+        root = write_project(
+            tmp_path,
+            {
+                "w.py": (
+                    "_state = []\n\n\n"
+                    "def work(args):\n    return len(_state)\n"
+                ),
+                "exe.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+                    "def execute(worker, payloads):\n"
+                    "    pool = ProcessPoolExecutor(2)\n"
+                    "    return [pool.submit(worker, p) for p in payloads]\n"
+                ),
+                "run.py": (
+                    "from proj.exe import execute\n"
+                    "from proj.w import work\n\n\n"
+                    "def run(payloads):\n"
+                    "    return execute(work, payloads)\n"
+                ),
+            },
+        )
+        result = analyze(root)
+        trips = [f for f in result.findings if f.code == "TNG301"]
+        assert trips, codes(result)
+        assert trips[0].path.endswith("run.py")
+        assert "_state" in trips[0].message
+
+
+class TestCacheIncrementality:
+    def test_warm_run_reanalyzes_nothing(self, tmp_path):
+        root = write_project(tmp_path, dict(FORK_FIXTURE))
+        cache = tmp_path / "cache"
+        first = analyze(root, cache_dir=cache)
+        assert sorted(first.analyzed) == [
+            "proj",
+            "proj.launch",
+            "proj.work",
+        ]
+        second = analyze(root, cache_dir=cache)
+        assert second.analyzed == []
+        assert sorted(second.cached) == sorted(first.analyzed)
+        # cached findings survive byte-identically
+        assert [f.render() for f in second.findings] == [
+            f.render() for f in first.findings
+        ]
+
+    def test_edit_dirties_only_transitive_importers(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "leaf.py": "def leaf():\n    return 1\n",
+                "mid.py": (
+                    "from proj.leaf import leaf\n\n\n"
+                    "def mid():\n    return leaf()\n"
+                ),
+                "lone.py": "def lone():\n    return 2\n",
+            },
+        )
+        cache = tmp_path / "cache"
+        analyze(root, cache_dir=cache)
+        (root / "leaf.py").write_text("def leaf():\n    return 3\n")
+        result = analyze(root, cache_dir=cache)
+        assert sorted(result.analyzed) == ["proj.leaf", "proj.mid"]
+        assert "proj.lone" in result.cached
+
+    def test_version_or_corruption_degrades_to_full_run(self, tmp_path):
+        root = write_project(tmp_path, {"m.py": "x = 1\n"})
+        cache = tmp_path / "cache"
+        analyze(root, cache_dir=cache)
+        for entry in cache.glob("*.json"):
+            entry.write_text("{not json")
+        result = analyze(root, cache_dir=cache)
+        assert "proj.m" in result.analyzed
+
+
+def run(paths, **kwargs):
+    out, err = io.StringIO(), io.StringIO()
+    status = run_lint(paths, stdout=out, stderr=err, **kwargs)
+    return status, out.getvalue(), err.getvalue()
+
+
+class TestRunnerIntegration:
+    def test_committed_tree_flow_clean(self, tmp_path):
+        status, out, err = run(
+            [SRC], flow=True, flow_cache=str(tmp_path / "cache")
+        )
+        assert status == 0, out + err
+        assert "clean: 0 findings" in out
+        assert "flow:" in out
+
+    def test_flow_findings_reach_the_report(self, tmp_path):
+        root = write_project(tmp_path, dict(FORK_FIXTURE))
+        status, out, _ = run(
+            [str(root)], flow=True, flow_cache=None, semantics=False
+        )
+        assert status == 1
+        assert "TNG301" in out and "TNG302" in out and "TNG303" in out
+
+    def test_select_flow_code_requires_flow(self, tmp_path):
+        status, _, err = run([SRC], select="TNG301")
+        assert status == 2
+        assert "--flow" in err
+
+    def test_select_restricts_flow_codes(self, tmp_path):
+        root = write_project(tmp_path, dict(FORK_FIXTURE))
+        status, out, _ = run(
+            [str(root)],
+            flow=True,
+            flow_cache=None,
+            semantics=False,
+            select="TNG302",
+        )
+        assert status == 1
+        assert "TNG302" in out
+        assert "TNG301" not in out and "TNG303" not in out
+
+    def test_baseline_round_trip_for_flow_findings(self, tmp_path):
+        root = write_project(tmp_path, dict(FORK_FIXTURE))
+        baseline = tmp_path / "baseline.json"
+        status, _, _ = run(
+            [str(root)],
+            flow=True,
+            flow_cache=None,
+            semantics=False,
+            write_baseline=str(baseline),
+        )
+        assert status == 0
+        status, out, _ = run(
+            [str(root)],
+            flow=True,
+            flow_cache=None,
+            semantics=False,
+            baseline_path=str(baseline),
+        )
+        assert status == 0, out
+
+    def test_flow_stats_in_json_report(self, tmp_path):
+        import json as json_mod
+
+        root = write_project(tmp_path, {"m.py": "x = 1\n"})
+        status, out, _ = run(
+            [str(root)],
+            flow=True,
+            flow_cache=str(tmp_path / "cache"),
+            semantics=False,
+            fmt="json",
+        )
+        payload = json_mod.loads(out)
+        assert payload["flow"]["analyzed"] == 2  # proj + proj.m
+        assert payload["flow"]["cached"] == 0
+
+
+class TestUnusedSuppression:
+    def test_dead_noqa_is_flagged(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"m.py": "x = 1  # tango: noqa[TNG001]\n"},
+        )
+        status, out, _ = run([str(root)], semantics=False)
+        assert status == 1
+        assert "TNG007" in out
+        assert "TNG001" in out
+
+    def test_used_noqa_is_not_flagged(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "m.py": (
+                    "import time\n\n"
+                    "T = time.time()  # tango: noqa[TNG001]\n"
+                ),
+            },
+        )
+        status, out, _ = run([str(root)], semantics=False)
+        assert status == 0, out
+
+    def test_flow_code_noqa_judged_only_with_flow(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"m.py": "x = 1  # tango: noqa[TNG301]\n"},
+        )
+        status, out, _ = run([str(root)], semantics=False)
+        assert status == 0, out  # flow family did not run: benefit of doubt
+        status, out, _ = run(
+            [str(root)], semantics=False, flow=True, flow_cache=None
+        )
+        assert status == 1
+        assert "TNG007" in out
+
+    def test_blanket_noqa_judged_only_with_flow(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"m.py": "x = 1  # tango: noqa\n"},
+        )
+        status, out, _ = run([str(root)], semantics=False)
+        assert status == 0, out
+        status, out, _ = run(
+            [str(root)], semantics=False, flow=True, flow_cache=None
+        )
+        assert status == 1
+        assert "blanket" in out
+
+    def test_used_flow_noqa_survives_the_audit(self, tmp_path):
+        files = dict(FORK_FIXTURE)
+        files["launch.py"] = files["launch.py"].replace(
+            "    return pool.submit(work, (payloads, rng))",
+            "    return pool.submit(work, (payloads, rng))"
+            "  # tango: noqa[TNG301,TNG302,TNG303]",
+        )
+        root = write_project(tmp_path, files)
+        status, out, _ = run(
+            [str(root)], semantics=False, flow=True, flow_cache=None
+        )
+        assert status == 0, out
+
+    def test_tng007_cannot_be_self_suppressed(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"m.py": "x = 1  # tango: noqa[TNG001,TNG007]\n"},
+        )
+        status, out, _ = run([str(root)], semantics=False)
+        assert status == 1
+        assert "TNG007" in out
