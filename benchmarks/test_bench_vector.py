@@ -1,0 +1,126 @@
+"""E19 — vectorized fluid engine and batched controller tick scheduler.
+
+The vector/tick perf gate (see README "Performance" and EXPERIMENTS.md
+E19): runs the synthetic many-tunnel engine comparison and the
+1000-controller farm comparison from :mod:`repro.traffic.bench`, prints
+the measured throughput, and FAILS if
+
+* the vectorized engine sustains fewer than 10,000,000 flow-updates/s
+  (modeled concurrent flows x steps / wall), or
+* the vectorized engine is less than 5x faster than the scalar oracle
+  at stepping the same workload, or
+* the vectorized run is not byte-identical to the scalar oracle
+  (telemetry series and loss ledgers), or
+* 1000 controllers on one shared tick wheel need more than one live
+  recurring heap event, drift from the per-controller-task tick counts,
+  or blow the 100 ms per-round wall budget.
+
+Environment:
+
+* ``BENCH_SMOKE=1`` — CI mode: shorter simulated windows, same gates.
+* ``BENCH_VECTOR_OUT`` — where to write the JSON report (default:
+  ``BENCH_VECTOR.json`` in the current directory).
+"""
+
+import json
+import os
+
+from conftest import emit
+
+from repro.traffic.bench import (
+    TICK_BUDGET_S,
+    TICK_CONTROLLERS,
+    VECTOR_MIN_SPEEDUP,
+    VECTOR_TARGET_UPDATES_PER_S,
+    run_tick_workload,
+    run_vector_workload,
+)
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
+OUT_PATH = os.environ.get("BENCH_VECTOR_OUT", "BENCH_VECTOR.json")
+
+
+def test_vector_engine_and_tick_scheduler(benchmark):
+    # The benchmark fixture times the high-signal piece (a short
+    # vectorized run); the gated comparisons run once around it.
+    benchmark(
+        run_vector_workload, n_tunnels=64, duration_s=2.0, step_s=0.1
+    )
+
+    vector = run_vector_workload(duration_s=10.0 if SMOKE else 30.0)
+    ticks = run_tick_workload(duration_s=2.0 if SMOKE else 10.0)
+
+    emit(
+        "E19 vector: "
+        f"{vector.detail['buckets']} buckets x {vector.detail['steps']} "
+        f"steps, {vector.detail['flow_updates_per_s']:,.0f} "
+        f"flow-updates/s, {vector.detail['speedup']:.1f}x over scalar, "
+        f"bit-equivalent={vector.detail['bit_equivalent']}"
+    )
+    emit(
+        "E19 ticks: "
+        f"{ticks.detail['controllers']} controllers, "
+        f"{ticks.detail['rounds']} rounds at "
+        f"{ticks.detail['per_round_s'] * 1e3:.2f}ms/round "
+        f"(budget {TICK_BUDGET_S * 1e3:.0f}ms), heap events "
+        f"{ticks.detail['heap_live_dedicated']} -> "
+        f"{ticks.detail['heap_live_shared']}"
+    )
+
+    payload = {
+        "schema": "tango-repro/bench-vector/v1",
+        "smoke": SMOKE,
+        "passed": vector.passed and ticks.passed,
+        "gates": {
+            "vector_target_updates_per_s": VECTOR_TARGET_UPDATES_PER_S,
+            "vector_min_speedup": VECTOR_MIN_SPEEDUP,
+            "tick_controllers": TICK_CONTROLLERS,
+            "tick_budget_s": TICK_BUDGET_S,
+        },
+        "workloads": {
+            "vector": vector.as_dict(),
+            "ticks": ticks.as_dict(),
+        },
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit(f"wrote {OUT_PATH}")
+
+    # Gate 1: the vectorized engine is only trustworthy while it stays
+    # bit-identical to the scalar oracle.
+    assert vector.detail["bit_equivalent"], (
+        "vectorized engine diverged from the scalar oracle "
+        "(telemetry series or loss ledgers differ)"
+    )
+
+    # Gate 2: sustained flow-update throughput.
+    assert (
+        vector.detail["flow_updates_per_s"] >= VECTOR_TARGET_UPDATES_PER_S
+    ), (
+        f"vectorized engine sustained only "
+        f"{vector.detail['flow_updates_per_s']:,.0f} flow-updates/s "
+        f"(gate: {VECTOR_TARGET_UPDATES_PER_S:,.0f})"
+    )
+
+    # Gate 3: the regression gate — the vectorized step loop must beat
+    # the scalar oracle by at least 5x on the same workload.
+    assert vector.detail["speedup"] >= VECTOR_MIN_SPEEDUP, (
+        f"vectorized engine only {vector.detail['speedup']:.2f}x faster "
+        f"than the scalar oracle (gate: {VECTOR_MIN_SPEEDUP:.0f}x)"
+    )
+
+    # Gate 4: the controller farm multiplexes onto one heap event,
+    # reproduces per-controller tick counts, and fits the round budget.
+    assert ticks.detail["heap_live_shared"] == 1, (
+        f"shared wheel left {ticks.detail['heap_live_shared']} live "
+        f"recurring heap events (gate: 1)"
+    )
+    assert ticks.detail["ticks_match_dedicated"], (
+        "shared-wheel controllers drifted from the per-task tick counts"
+    )
+    assert ticks.detail["per_round_s"] <= TICK_BUDGET_S, (
+        f"one wheel round over {ticks.detail['controllers']} controllers "
+        f"took {ticks.detail['per_round_s'] * 1e3:.2f}ms "
+        f"(budget: {TICK_BUDGET_S * 1e3:.0f}ms)"
+    )
+    assert vector.passed and ticks.passed

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 
 from ..netsim.events import PeriodicTask, Simulator
+from ..netsim.ticks import TickHandle, TickScheduler
 from ..resilience.degraded import (
     MODE_COOPERATIVE,
     MODE_DEGRADED,
@@ -179,6 +180,12 @@ class TangoController:
             forces degraded local-RTT selection regardless of staleness.
             Requires ``degraded`` — distrust demotion needs a fallback
             estimate store to route on.
+        scheduler: register the control loop into this shared
+            :class:`~repro.netsim.ticks.TickScheduler` instead of a
+            dedicated ``PeriodicTask`` — with N controllers the
+            simulator heap carries one recurring event, not N.
+            ``interval_s`` must be an integer multiple of the wheel's
+            base interval; the tick sequence is otherwise identical.
     """
 
     def __init__(
@@ -195,6 +202,7 @@ class TangoController:
         trust: Optional["PeerTrustMonitor"] = None,
         frr: Optional["FastReroute"] = None,
         srlg_registry: Optional["SrlgRegistry"] = None,
+        scheduler: Optional[TickScheduler] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
@@ -209,10 +217,15 @@ class TangoController:
         self.staleness_s = staleness_s
         self.choice_trace = TimeSeries()
         self._task: Optional[PeriodicTask] = None
+        self.scheduler = scheduler
+        self._handle: Optional[TickHandle] = None
         self.ticks = 0
         #: Optional attached profiler; when set, control-loop ticks are
         #: counted per controller under ``controller.<name>.ticks``.
+        #: The counter name is precomputed so a profiled tick pays a
+        #: dict increment, not an f-string build.
         self.profiler: Optional["Profiler"] = None
+        self._tick_counter = f"controller.{gateway.config.name}.ticks"
         #: Fired once per tunnel when it *becomes* stale (edge-triggered):
         #: the hook a deployment uses to alarm or re-run discovery.
         self.on_stale = on_stale
@@ -266,7 +279,7 @@ class TangoController:
                 recovery path, used right after :meth:`restore_state` so
                 a restart does not re-thrash tunnels.
         """
-        if self._task is not None:
+        if self._task is not None or self._handle is not None:
             raise RuntimeError("controller already started")
         if not warm:
             self._stale_flags.clear()
@@ -281,18 +294,32 @@ class TangoController:
         # warm restore the dataplane may still hold the pre-crash one.
         self._apply_mode(self.mode)
         self.crashed = False
-        self._task = self.sim.call_every(self.interval_s, self._tick)
+        if self.scheduler is not None:
+            self._handle = self.scheduler.register_every_s(
+                self.interval_s,
+                self._scheduled_tick,
+                name=self.gateway.config.name,
+            )
+        else:
+            self._task = self.sim.call_every(self.interval_s, self._tick)
 
     def stop(self) -> None:
         if self._task is not None:
             self._task.stop()
             self._task = None
+        if self._handle is not None:
+            self._handle.stop()
+            self._handle = None
+
+    def _scheduled_tick(self, now: float) -> None:
+        """Shared-wheel entry point (``TickScheduler`` callback shape)."""
+        self._tick()
 
     @property
     def running(self) -> bool:
         """True while the control loop is scheduled — the supervisor's
         liveness primitive (alongside tick-counter progress)."""
-        return self._task is not None
+        return self._task is not None or self._handle is not None
 
     def crash(self) -> None:
         """Model process death: the loop stops and runtime memory is lost.
@@ -309,6 +336,9 @@ class TangoController:
         if self._task is not None:
             self._task.stop()
             self._task = None
+        if self._handle is not None:
+            self._handle.stop()
+            self._handle = None
         self.crashed = True
         self._qstate.clear()
         self._stale_flags.clear()
@@ -329,7 +359,7 @@ class TangoController:
     def _tick(self) -> None:
         self.ticks += 1
         if self.profiler is not None:
-            self.profiler.count(f"controller.{self.gateway.config.name}.ticks")
+            self.profiler.count(self._tick_counter)
         now = self.sim.now
         self.gateway.loss_monitor.sample(now)
         choice = getattr(self.gateway.selector, "last_choice", None)

@@ -10,6 +10,7 @@ presumed loss back into a reordering event if the packet shows up late.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 __all__ = ["SequenceStamper", "SequenceTracker", "SequenceStats"]
 
@@ -129,6 +130,39 @@ class SequenceTracker:
         stats.received += delivered
         stats.presumed_lost += lost
         stats.highest_seen += delivered + lost
+
+    def record_aggregate_many(
+        self,
+        path_ids: Sequence[int],
+        delivered: Sequence[int],
+        lost: Sequence[int],
+    ) -> None:
+        """Fold aligned per-path aggregate observations into the counters.
+
+        The batched twin of :meth:`record_aggregate` for the vectorized
+        fluid engine: paths are processed in the given order and
+        all-zero pairs are skipped, so the resulting counters are
+        identical to an equivalent loop of scalar calls guarded by
+        ``if delivered or lost``.
+        """
+        if not (len(path_ids) == len(delivered) == len(lost)):
+            raise ValueError(
+                f"length mismatch: {len(path_ids)} paths vs "
+                f"{len(delivered)} delivered / {len(lost)} lost"
+            )
+        paths = self._paths
+        for path_id, delivered_n, lost_n in zip(path_ids, delivered, lost):
+            if delivered_n < 0 or lost_n < 0:
+                raise ValueError("delivered and lost must be >= 0")
+            if delivered_n == 0 and lost_n == 0:
+                continue
+            state = paths.get(path_id)
+            if state is None:
+                state = paths[path_id] = _PathState()
+            stats = state.stats
+            stats.received += delivered_n
+            stats.presumed_lost += lost_n
+            stats.highest_seen += delivered_n + lost_n
 
     def _trim(self, state: _PathState) -> None:
         if len(state.missing) <= self._max_gap_tracking:

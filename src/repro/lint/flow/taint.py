@@ -54,7 +54,9 @@ TAINT_RNG = "unseeded-rng"
 #: tainted value here makes *event timing* nondeterministic.
 _SIM_SINK_ATTRS = frozenset({"schedule_at", "schedule_in", "call_every"})
 #: Attribute names that persist telemetry samples replays compare.
-_TELEMETRY_SINK_ATTRS = frozenset({"record", "record_aggregate"})
+_TELEMETRY_SINK_ATTRS = frozenset(
+    {"record", "record_aggregate", "record_aggregate_many"}
+)
 #: Report-writer surface (replay-compared output): TNG203 territory.
 _REPORT_SINK_ATTRS = frozenset({"to_json"})
 _REPORT_SINK_DOTTED = frozenset({"json.dump", "json.dumps"})

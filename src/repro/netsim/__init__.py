@@ -43,6 +43,7 @@ from .packet import (
     UdpHeader,
 )
 from .simclock import NodeClock, SimClock
+from .ticks import TickHandle, TickScheduler
 from .topology import Network
 from .transport import TcpReceiver, TcpSender, TcpStats, connect_tcp
 from .trace import (
@@ -94,6 +95,8 @@ __all__ = [
     "TcpReceiver",
     "TcpSender",
     "TcpStats",
+    "TickHandle",
+    "TickScheduler",
     "TraceEntry",
     "TraceRecorder",
     "TANGO_UDP_PORT",

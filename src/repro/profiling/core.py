@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, Callable, Iterator, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..bgp.network import BgpNetwork
     from ..netsim.events import Simulator
+    from ..netsim.ticks import TickScheduler
+    from ..traffic.fluid import FluidEngine
 
 __all__ = ["TimerStat", "Profiler"]
 
@@ -116,6 +118,24 @@ class Profiler:
         self.set_counter(f"{prefix}.events_processed", sim.events_processed)
         self.set_counter(f"{prefix}.compactions", sim.compactions)
         self.set_counter(f"{prefix}.tombstones_reaped", sim.tombstones_reaped)
+
+    def capture_traffic_engine(
+        self, engine: "FluidEngine", prefix: str = "fluid"
+    ) -> None:
+        """Pull a fluid engine's always-on counters (scalar or vector)."""
+        self.set_counter(f"{prefix}.steps_total", engine.steps)
+        self.set_counter(
+            f"{prefix}.peak_concurrent_flows", int(engine.peak_concurrent_flows)
+        )
+        self.set_counter(f"{prefix}.splits_recomputed", engine.splits_recomputed)
+
+    def capture_scheduler(
+        self, scheduler: "TickScheduler", prefix: str = "ticks"
+    ) -> None:
+        """Pull a tick scheduler's always-on counters."""
+        self.set_counter(f"{prefix}.rounds", scheduler.rounds)
+        self.set_counter(f"{prefix}.callbacks_run", scheduler.callbacks_run)
+        self.set_counter(f"{prefix}.registered", scheduler.registered)
 
     # -- emission -------------------------------------------------------------
 

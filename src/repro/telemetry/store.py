@@ -9,7 +9,7 @@ layers (which read windows and summaries).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -21,28 +21,39 @@ _INITIAL_CAPACITY = 1024
 class TimeSeries:
     """Append-optimized (time, value) series backed by numpy arrays.
 
-    Appends are amortized O(1) via doubling; reads return zero-copy views
-    of the filled region.  Times must be non-decreasing (they come from a
+    Appends are amortized O(1) via geometric over-allocation and a length
+    cursor; reads return zero-copy views of the filled region.  The hot
+    path keeps everything in Python scalars (the last time is cached as a
+    float, the capacity as an int), so one ``append`` is two array-cell
+    stores plus comparisons — no numpy scalar boxing, no ``len()`` of the
+    backing array.  Times must be non-decreasing (they come from a
     monotonic simulation clock); violations raise immediately, because a
     disordered series silently corrupts windowed statistics.
     """
+
+    __slots__ = ("_times", "_values", "_size", "_capacity", "_last_t", "grows")
 
     def __init__(self) -> None:
         self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._values = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
         self._size = 0
+        self._capacity = _INITIAL_CAPACITY
+        self._last_t = -np.inf
+        #: Number of reallocations so far (observable: growth must stay
+        #: logarithmic in the number of appends).
+        self.grows = 0
 
     def append(self, t: float, value: float) -> None:
         """Add a sample at time ``t``."""
-        if self._size and t < self._times[self._size - 1]:
-            raise ValueError(
-                f"time went backwards: {t} < {self._times[self._size - 1]}"
-            )
-        if self._size == len(self._times):
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t} < {self._last_t}")
+        size = self._size
+        if size == self._capacity:
             self._grow()
-        self._times[self._size] = t
-        self._values[self._size] = value
-        self._size += 1
+        self._times[size] = t
+        self._values[size] = value
+        self._size = size + 1
+        self._last_t = t
 
     def extend(self, times: np.ndarray, values: np.ndarray) -> None:
         """Bulk-append aligned arrays (used by the fast sampling campaign)."""
@@ -56,19 +67,26 @@ class TimeSeries:
             return
         if np.any(np.diff(times) < 0):
             raise ValueError("times must be non-decreasing")
-        if self._size and times[0] < self._times[self._size - 1]:
+        if times[0] < self._last_t:
             raise ValueError("bulk append would go backwards in time")
         needed = self._size + times.size
-        while needed > len(self._times):
+        while needed > self._capacity:
             self._grow()
         self._times[self._size : needed] = times
         self._values[self._size : needed] = values
         self._size = needed
+        self._last_t = float(times[-1])
 
     def _grow(self) -> None:
-        capacity = max(len(self._times) * 2, _INITIAL_CAPACITY)
-        self._times = np.resize(self._times, capacity)
-        self._values = np.resize(self._values, capacity)
+        capacity = max(self._capacity * 2, _INITIAL_CAPACITY)
+        times = np.empty(capacity, dtype=np.float64)
+        values = np.empty(capacity, dtype=np.float64)
+        times[: self._size] = self._times[: self._size]
+        values[: self._size] = self._values[: self._size]
+        self._times = times
+        self._values = values
+        self._capacity = capacity
+        self.grows += 1
 
     @property
     def times(self) -> np.ndarray:
@@ -156,6 +174,33 @@ class MeasurementStore:
     def extend(self, path_id: int, times: np.ndarray, owds: np.ndarray) -> None:
         """Bulk-append samples for ``path_id``."""
         self._series.setdefault(path_id, TimeSeries()).extend(times, owds)
+
+    def record_aggregate_many(
+        self,
+        path_ids: Sequence[int],
+        t: float,
+        owds_s: Sequence[float],
+    ) -> None:
+        """Append one sample per path at a single time ``t``.
+
+        The batched twin of :meth:`record` for aggregate engines (the
+        vectorized fluid engine records one delay per tunnel per step):
+        one call walks the paths in the given order, appending exactly
+        the samples the equivalent :meth:`record` loop would — the
+        resulting series are byte-identical — without re-resolving the
+        store attribute per path.
+        """
+        if len(path_ids) != len(owds_s):
+            raise ValueError(
+                f"length mismatch: {len(path_ids)} paths vs "
+                f"{len(owds_s)} samples"
+            )
+        series = self._series
+        for path_id, owd_s in zip(path_ids, owds_s):
+            entry = series.get(path_id)
+            if entry is None:
+                entry = series[path_id] = TimeSeries()
+            entry.append(t, owd_s)
 
     def series(self, path_id: int) -> TimeSeries:
         """The series for ``path_id`` (empty series if nothing recorded)."""

@@ -21,8 +21,15 @@ adds one:
 """
 
 from .demand import DemandModel, FlowClass, SurgeWindow, standard_flow_classes
-from .fluid import FluidEngine, TunnelLoad, fluid_overload_loss, fluid_wait_s
+from .fluid import (
+    FluidEngine,
+    SplitResolver,
+    TunnelLoad,
+    fluid_overload_loss,
+    fluid_wait_s,
+)
 from .splitting import LoadAwareWeights, SplitRebalancer, WeightedSplitSelector
+from .vector import ENGINES, VectorFluidEngine, create_fluid_engine
 
 __all__ = [
     "DemandModel",
@@ -30,10 +37,14 @@ __all__ = [
     "SurgeWindow",
     "standard_flow_classes",
     "FluidEngine",
+    "SplitResolver",
     "TunnelLoad",
     "fluid_wait_s",
     "fluid_overload_loss",
     "LoadAwareWeights",
     "SplitRebalancer",
     "WeightedSplitSelector",
+    "ENGINES",
+    "VectorFluidEngine",
+    "create_fluid_engine",
 ]

@@ -32,13 +32,22 @@ many million concurrent flows the buckets represent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.netsim.packet import TANGO_UDP_PORT, Ipv6Header, Packet, UdpHeader
 
 from .demand import DemandModel, FlowClass
 
-__all__ = ["FluidEngine", "TunnelLoad", "fluid_wait_s", "fluid_overload_loss"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.profiling.core import Profiler
+
+__all__ = [
+    "FluidEngine",
+    "SplitResolver",
+    "TunnelLoad",
+    "fluid_wait_s",
+    "fluid_overload_loss",
+]
 
 #: Utilization cap for the stochastic (P-K) wait term: beyond capacity
 #: the *fluid backlog* models the delay growth, so the stochastic term
@@ -89,6 +98,118 @@ class TunnelLoad:
     backlog_bits: float
     delay_s: float
     loss: float
+
+
+class SplitResolver:
+    """Per-class split resolution with an unchanged-weights cache.
+
+    Both fluid engines resolve one split per (flow class, step).  For
+    static or slowly-refreshing selectors the resolved fractions are
+    identical step after step, yet the scalar engine used to rebuild and
+    ``sorted()`` the dict every time.  The resolver keys a cache on the
+    selector identity plus the *raw* selector output (the weight vector,
+    or the chosen path id), so the normalized items are rebuilt only
+    when the selector actually moved.  Selectors that implement the
+    optional ``split_token(tunnels, now)`` protocol (e.g.
+    :class:`~repro.traffic.splitting.WeightedSplitSelector`) shortcut
+    even the O(tunnels) weight scan: a stable token means the cached
+    items are provably current, and a ``None`` token (refresh due,
+    fallback possible) drops to the full path, so policy refresh clocks
+    still advance exactly on schedule.  For selectors without a token,
+    ``split_weights``/``select`` is invoked every step — only the
+    normalization and sort are skipped — so selector-internal state
+    (refresh clocks, split counters, flowlet tables) evolves exactly as
+    before.
+
+    ``splits_recomputed`` counts rebuilds (the cache observability the
+    profiling tests assert on); ``generation`` increments with every
+    rebuild so the vectorized engine can cache a fraction *vector* and
+    cheaply detect staleness.
+    """
+
+    __slots__ = (
+        "sender",
+        "tunnels",
+        "_packets",
+        "_cache",
+        "splits_recomputed",
+        "generation",
+    )
+
+    def __init__(
+        self,
+        sender: object,
+        tunnels: list,
+        packets: dict[int, Packet],
+    ) -> None:
+        self.sender = sender
+        self.tunnels = tunnels
+        self._packets = packets
+        # flow_label -> (selector, raw key, sorted (path_id, fraction) items)
+        self._cache: dict[
+            int, tuple[object, object, tuple[tuple[int, float], ...]]
+        ] = {}
+        self.splits_recomputed = 0
+        self.generation = 0
+
+    def resolve(
+        self, cls: FlowClass, now: float
+    ) -> tuple[tuple[int, float], ...]:
+        """Sorted ``(path_id, fraction)`` items for one class at ``now``."""
+        selector = self.sender.selector
+        weights_fn = getattr(selector, "split_weights", None)
+        if callable(weights_fn):
+            token_fn = getattr(selector, "split_token", None)
+            if token_fn is not None:
+                token = token_fn(self.tunnels, now)
+                if token is not None:
+                    cached = self._cache.get(cls.flow_label)
+                    if (
+                        cached is not None
+                        and cached[0] is selector
+                        and (cached[1] is token or cached[1] == token)
+                    ):
+                        return cached[2]
+            raw = [max(0.0, float(w)) for w in weights_fn(self.tunnels, now)]
+            total = sum(raw)
+            if total > 0:
+                key: object = tuple(raw)
+                if token_fn is not None:
+                    key = token_fn(self.tunnels, now) or key
+                cached = self._cache.get(cls.flow_label)
+                if (
+                    cached is not None
+                    and cached[0] is selector
+                    and cached[1] == key
+                ):
+                    return cached[2]
+                items = tuple(
+                    sorted(
+                        (t.path_id, w / total)
+                        for t, w in zip(self.tunnels, raw)
+                    )
+                )
+                self._remember(cls.flow_label, selector, key, items)
+                return items
+        chosen = selector.select(self.tunnels, self._packets[cls.flow_label], now)
+        key = ("select", chosen.path_id)
+        cached = self._cache.get(cls.flow_label)
+        if cached is not None and cached[0] is selector and cached[1] == key:
+            return cached[2]
+        items = ((chosen.path_id, 1.0),)
+        self._remember(cls.flow_label, selector, key, items)
+        return items
+
+    def _remember(
+        self,
+        flow_label: int,
+        selector: object,
+        key: object,
+        items: tuple[tuple[int, float], ...],
+    ) -> None:
+        self._cache[flow_label] = (selector, key, items)
+        self.splits_recomputed += 1
+        self.generation += 1
 
 
 class FluidEngine:
@@ -161,6 +282,13 @@ class FluidEngine:
         self._packets: dict[int, Packet] = {
             cls.flow_label: self._synthetic_packet(cls) for cls in demand.classes
         }
+        self._resolver = SplitResolver(self.sender, self.tunnels, self._packets)
+
+        #: Optional wall-clock profiler; when None the step path pays a
+        #: single attribute check (the near-zero-cost guarantee the
+        #: profiling tests assert on).
+        self.profiler: Optional["Profiler"] = None
+        self._updates_per_step = len(demand.classes) * len(self.tunnels)
 
         self.steps = 0
         self.peak_concurrent_flows = 0.0
@@ -215,6 +343,11 @@ class FluidEngine:
     def flows_for(self, flow_label: int) -> float:
         return self._flows[flow_label]
 
+    @property
+    def splits_recomputed(self) -> int:
+        """How many times a split was actually rebuilt (cache misses)."""
+        return self._resolver.splits_recomputed
+
     def utilization(self, path_id: int) -> float:
         """Last computed utilization of ``path_id`` (0.0 before any step)."""
         load = self.last_loads.get(path_id)
@@ -248,19 +381,11 @@ class FluidEngine:
         :class:`~repro.traffic.splitting.WeightedSplitSelector`) yield a
         fractional split; any other ``PathSelector`` is called once per
         class per step and gets an all-to-one split — which is exactly
-        how existing single-path selectors behave, unchanged.
+        how existing single-path selectors behave, unchanged.  Resolution
+        is cached across steps by :class:`SplitResolver` while the
+        selector's raw output is unchanged.
         """
-        selector = self.sender.selector
-        weights_fn = getattr(selector, "split_weights", None)
-        if callable(weights_fn):
-            raw = [max(0.0, float(w)) for w in weights_fn(self.tunnels, now)]
-            total = sum(raw)
-            if total > 0:
-                return {
-                    t.path_id: w / total for t, w in zip(self.tunnels, raw)
-                }
-        chosen = selector.select(self.tunnels, self._packets[cls.flow_label], now)
-        return {chosen.path_id: 1.0}
+        return dict(self._resolver.resolve(cls, now))
 
     def _step(self) -> None:
         now = self.sim.now
@@ -283,7 +408,7 @@ class FluidEngine:
             )
             if rate <= 0:
                 continue
-            for path_id, fraction in sorted(self._split_for(cls, now).items()):
+            for path_id, fraction in self._resolver.resolve(cls, now):
                 offered[path_id] += rate * fraction
 
         total_offered = sum(offered[t.path_id] for t in self.tunnels)
@@ -383,6 +508,11 @@ class FluidEngine:
                 split = {t.path_id: 0.0 for t in self.tunnels}
             self.split_trace.append((now, split))
             self.concurrency_trace.append((now, self.concurrent_flows))
+
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.count("fluid.steps")
+            profiler.count("fluid.bucket_updates", self._updates_per_step)
 
     # ------------------------------------------------------------------
 

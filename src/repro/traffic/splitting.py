@@ -137,6 +137,33 @@ class WeightedSplitSelector:
         self._cached = None
         self._cached_at = None
 
+    def split_token(self, tunnels: list, now: float) -> Optional[object]:
+        """Cheap split-stability token for resolver caches.
+
+        Returns an object that compares equal for as long as
+        :meth:`split_weights` is guaranteed to return the same fractions
+        for ``tunnels``, or ``None`` when no such guarantee holds (a
+        policy refresh is due, the weight vector does not match the
+        tunnel count, or a non-positive weight sum would trigger the
+        uniform fallback).  Lets
+        :class:`~repro.traffic.fluid.SplitResolver` skip the O(tunnels)
+        weight scan on the steady-state path.
+        """
+        if self.weights is not None:
+            if (
+                self._cached is None
+                or len(self._cached) != len(tunnels)
+                or self._cached_at is None
+                or now - self._cached_at >= self.refresh_s
+            ):
+                return None
+            return self._cached if sum(self._cached) > 0 else None
+        if self._static is not None:
+            if len(self._static) != len(tunnels):
+                return None
+            return self._static if sum(self._static) > 0 else None
+        return ("uniform", len(tunnels))
+
     def split_weights(self, tunnels: list, now: float) -> list:
         """Normalized split fractions over ``tunnels`` (sums to 1)."""
         raw = self._raw_weights(tunnels, now)
@@ -229,3 +256,13 @@ class SplitRebalancer:
             total = float(len(self.tunnels))
         self.selector.update_weights(raw)
         self.history.append((now, tuple(w / total for w in raw)))
+
+    def attach(self, scheduler, *, every: int = 1, name: str = "rebalancer"):
+        """Register this hook on a shared tick wheel.
+
+        ``__call__`` already has the ``TickScheduler`` callback shape, so
+        a rebalancer can run standalone on the wheel (every ``every``
+        rounds) instead of riding a controller's tick.  Returns the
+        :class:`~repro.netsim.ticks.TickHandle`.
+        """
+        return scheduler.register(self, every=every, name=name)

@@ -129,6 +129,66 @@ class TestTimeSeries:
         np.testing.assert_array_equal(times, expected)
 
 
+class TestAmortizedGrowth:
+    """Geometric over-allocation: append is O(1) amortized, and the
+    grows counter makes the reallocation schedule observable."""
+
+    def test_initial_capacity_absorbs_first_appends(self):
+        series = TimeSeries()
+        for i in range(1024):
+            series.append(float(i), float(i))
+        assert series.grows == 0
+
+    def test_grows_counter_is_logarithmic(self):
+        series = TimeSeries()
+        n = 100_000
+        for i in range(n):
+            series.append(float(i), float(i))
+        assert len(series) == n
+        # Doubling from 1024: 2048, 4096, ..., 131072 -> 7 reallocations.
+        assert series.grows == 7
+
+    def test_views_only_expose_written_prefix(self):
+        series = TimeSeries()
+        for i in range(10):
+            series.append(float(i), float(i))
+        assert series.times.size == 10
+        assert series.values.size == 10
+        np.testing.assert_array_equal(series.times, np.arange(10.0))
+
+    def test_extend_reports_growth_too(self):
+        series = TimeSeries()
+        series.extend(np.arange(5000.0), np.ones(5000))
+        assert len(series) == 5000
+        assert series.grows >= 1
+
+
+class TestRecordAggregateMany:
+    def test_batched_equals_scalar_loop(self):
+        batched, scalar = MeasurementStore(), MeasurementStore()
+        pids = [4, 1, 3]
+        for step in range(50):
+            t = step * 0.1
+            owds = [0.03 + 0.001 * step + 0.0001 * p for p in pids]
+            batched.record_aggregate_many(pids, t, owds)
+            for pid, owd in zip(pids, owds):
+                scalar.record(pid, t, owd)
+        assert batched.path_ids() == scalar.path_ids()
+        for pid in pids:
+            a, b = batched.series(pid), scalar.series(pid)
+            assert a.times.tobytes() == b.times.tobytes()
+            assert a.values.tobytes() == b.values.tobytes()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            MeasurementStore().record_aggregate_many([1, 2], 0.0, [0.03])
+
+    def test_empty_batch_is_noop(self):
+        store = MeasurementStore()
+        store.record_aggregate_many([], 0.0, [])
+        assert store.path_ids() == []
+
+
 class TestMeasurementStore:
     def test_record_and_series(self):
         store = MeasurementStore()

@@ -1,0 +1,202 @@
+"""Vectorized fluid engine: seeded bit-equivalence with the scalar oracle.
+
+The vectorized engine is only admissible because it is *bit-identical*
+to the scalar closed forms, not merely close: every per-step state
+vector matches to the last ulp, the telemetry ledgers are byte-for-byte
+equal, and selectors fed by both engines make identical reroute
+decisions.  These tests pin that contract on the shipped Vultr
+scenario, including mid-run surges, blackholed links (model objects
+swapped underneath the engine, the fault injector's move), and the
+``engine=`` factory knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netsim.links import ConstantLoss
+from repro.scenarios.vultr import VultrDeployment
+from repro.traffic.demand import DemandModel, standard_flow_classes
+from repro.traffic.fluid import FluidEngine
+from repro.traffic.splitting import LoadAwareWeights, WeightedSplitSelector
+from repro.traffic.vector import (
+    ENGINES,
+    VectorFluidEngine,
+    create_fluid_engine,
+)
+
+GTT = 2
+
+
+def build(engine, *, flows=50_000.0, surge=True, selector_seed=9, **kwargs):
+    """One seeded Vultr deployment driving the requested engine."""
+    deployment = VultrDeployment(include_events=False)
+    deployment.establish()
+    demand = DemandModel(classes=standard_flow_classes(flows), seed=42)
+    if surge:
+        demand.add_surge(5.0, 10.0, 2.5)
+    fluid = create_fluid_engine(
+        deployment, "ny", demand, engine=engine, **kwargs
+    )
+    selector = WeightedSplitSelector(
+        LoadAwareWeights(
+            deployment.gateway_ny.outbound,
+            window_s=1.0,
+            utilization=fluid.utilization,
+        ),
+        seed=selector_seed,
+    )
+    deployment.set_data_policy("ny", selector)
+    fluid.start()
+    return deployment, fluid, selector
+
+
+def assert_runs_identical(dep_s, fluid_s, dep_v, fluid_v):
+    """Bit-equality of state, telemetry bytes, and loss ledgers."""
+    assert fluid_s.steps == fluid_v.steps
+    assert fluid_s.split_trace == fluid_v.split_trace
+    assert fluid_s.concurrency_trace == fluid_v.concurrency_trace
+    assert fluid_s.last_loads == fluid_v.last_loads
+
+    store_s = dep_s.gateway_la.inbound
+    store_v = dep_v.gateway_la.inbound
+    assert store_s.path_ids() == store_v.path_ids()
+    for pid in store_s.path_ids():
+        a, b = store_s.series(pid), store_v.series(pid)
+        assert a.times.tobytes() == b.times.tobytes()
+        assert a.values.tobytes() == b.values.tobytes()
+
+    tracker_s = dep_s.gateway_ny.tracker
+    tracker_v = dep_v.gateway_ny.tracker
+    assert tracker_s.all_paths() == tracker_v.all_paths()
+
+
+class TestFactory:
+    def test_engine_registry(self):
+        assert ENGINES == {
+            "scalar": FluidEngine,
+            "vector": VectorFluidEngine,
+        }
+
+    def test_scalar_knob_builds_the_oracle(self):
+        _, fluid, _ = build("scalar")
+        assert type(fluid) is FluidEngine
+
+    def test_vector_knob_builds_the_vector_engine(self):
+        _, fluid, _ = build("vector")
+        assert type(fluid) is VectorFluidEngine
+        assert isinstance(fluid, FluidEngine)  # substitutable
+
+    def test_unknown_engine_rejected(self):
+        deployment = VultrDeployment(include_events=False)
+        deployment.establish()
+        demand = DemandModel(classes=standard_flow_classes(1000.0), seed=1)
+        with pytest.raises(ValueError, match="unknown fluid engine"):
+            create_fluid_engine(deployment, "ny", demand, engine="simd")
+
+
+class TestBitEquivalence:
+    def test_surge_run_is_bit_identical(self):
+        dep_s, fluid_s, _ = build("scalar")
+        dep_v, fluid_v, _ = build("vector")
+        dep_s.sim.run(until=dep_s.sim.now + 12.0)
+        dep_v.sim.run(until=dep_v.sim.now + 12.0)
+        assert fluid_v.steps > 100
+        assert_runs_identical(dep_s, fluid_s, dep_v, fluid_v)
+
+    def test_lockstep_per_step_state(self):
+        # Step the two simulators alternately and compare the full load
+        # state after every engine step — any divergence is caught at
+        # the step it first appears, within 1e-9 and in fact exactly.
+        dep_s, fluid_s, _ = build("scalar")
+        dep_v, fluid_v, _ = build("vector")
+        step = fluid_s.step_s
+        for i in range(60):
+            until = (i + 1) * step + step / 2
+            dep_s.sim.run(until=until)
+            dep_v.sim.run(until=until)
+            assert fluid_s.steps == fluid_v.steps
+            loads_s, loads_v = fluid_s.last_loads, fluid_v.last_loads
+            assert sorted(loads_s) == sorted(loads_v)
+            for pid, load_s in loads_s.items():
+                load_v = loads_v[pid]
+                for field in (
+                    "offered_bps",
+                    "utilization",
+                    "backlog_bits",
+                    "delay_s",
+                    "loss",
+                ):
+                    a = getattr(load_s, field)
+                    b = getattr(load_v, field)
+                    assert a == pytest.approx(b, abs=1e-9)
+                    assert a == b  # and in fact bit-identical
+
+    def test_blackholed_link_swap_is_bit_identical(self):
+        # The fault injector replaces link model *objects* mid-run; the
+        # vector engine must notice the identity change and reproduce
+        # the scalar blackhole path (no telemetry, full ledger loss).
+        runs = []
+        for engine in ("scalar", "vector"):
+            dep, fluid, _ = build(engine, surge=False)
+            link = dep.wan_link("ny", fluid.tunnels[GTT].short_label)
+            dep.sim.schedule_at(2.5, lambda li=link: setattr(
+                li, "loss", ConstantLoss(1.0)
+            ))
+            dep.sim.run(until=dep.sim.now + 6.0)
+            runs.append((dep, fluid))
+        (dep_s, fluid_s), (dep_v, fluid_v) = runs
+        assert_runs_identical(dep_s, fluid_s, dep_v, fluid_v)
+        # The blackholed path really stopped producing telemetry...
+        gtt_pid = fluid_s.tunnels[GTT].path_id
+        times = dep_v.gateway_la.inbound.series(gtt_pid).times
+        assert times.size and float(times[-1]) < 2.7
+        # ...and its ledger kept counting losses.
+        assert dep_v.gateway_ny.tracker.stats_for(gtt_pid).presumed_lost > 0
+
+    def test_reroute_decisions_identical_under_surge(self):
+        # The E16 acceptance condition under the new engine: the
+        # load-aware selector sees identical telemetry, so its split
+        # history — the reroute decisions — must match exactly.
+        dep_s, fluid_s, sel_s = build("scalar", flows=100_000.0)
+        dep_v, fluid_v, sel_v = build("vector", flows=100_000.0)
+        dep_s.sim.run(until=dep_s.sim.now + 12.0)
+        dep_v.sim.run(until=dep_v.sim.now + 12.0)
+        assert fluid_s.split_trace == fluid_v.split_trace
+        assert sel_s.uniform_fallbacks == sel_v.uniform_fallbacks
+        assert sel_s.split_counts == sel_v.split_counts
+        # The surge actually moved traffic (the trace is non-trivial).
+        splits = {
+            max(split, key=split.get) for _, split in fluid_s.split_trace
+        }
+        assert splits
+
+
+class TestVectorState:
+    def test_last_loads_rebuilt_lazily(self):
+        dep, fluid, _ = build("vector", surge=False)
+        dep.sim.run(until=dep.sim.now + 1.0)
+        loads = fluid.last_loads
+        assert loads and all(
+            isinstance(v, type(next(iter(loads.values())))) for v in loads.values()
+        )
+        for load in loads.values():
+            for field in ("offered_bps", "utilization", "delay_s", "loss"):
+                assert isinstance(getattr(load, field), float)
+        # Cached: same object until the next step invalidates it.
+        assert fluid.last_loads is loads
+
+    def test_utilization_matches_scalar(self):
+        dep_s, fluid_s, _ = build("scalar", surge=False)
+        dep_v, fluid_v, _ = build("vector", surge=False)
+        dep_s.sim.run(until=dep_s.sim.now + 2.0)
+        dep_v.sim.run(until=dep_v.sim.now + 2.0)
+        for tunnel in fluid_s.tunnels:
+            assert fluid_s.utilization(tunnel.path_id) == fluid_v.utilization(
+                tunnel.path_id
+            )
+
+    def test_state_vectors_are_float64(self):
+        _, fluid, _ = build("vector", surge=False)
+        assert fluid._cap_vec.dtype == np.float64
+        assert fluid._backlog_vec.dtype == np.float64
+        assert fluid._service_vec.dtype == np.float64
