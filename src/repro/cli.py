@@ -248,6 +248,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI mode: shorter simulated window and packet run, same gates",
     )
 
+    federation = sub.add_parser(
+        "federation",
+        help="live N-site federation: shared establishment + relay failover",
+        description=(
+            "Run the E20 multi-edge federation experiment: establish "
+            "all N*(N-1)/2 pairwise Tango sessions over one shared BGP "
+            "network (one shared convergence cache), stitch a relay "
+            "tunnel for the degraded pair, kill the relay mid-run, and "
+            "report dedup/diversity/failover results.  Exit status: 0 "
+            "all gates pass, 1 a gate fails, 2 usage errors."
+        ),
+    )
+    federation_sub = federation.add_subparsers(
+        dest="federation_command", required=True
+    )
+    federation_run = federation_sub.add_parser(
+        "run",
+        help="run the E20 federation experiment and print the report",
+        description=(
+            "Establish an N-member federation (shared vs independent "
+            "snapshot caches), rescue the degraded pair with a stitched "
+            "relay tunnel, inject a relay_outage, and verify reroute "
+            "within one telemetry horizon."
+        ),
+    )
+    federation_run.add_argument(
+        "--edges", type=int, default=8,
+        help="federation size N (default: 8)",
+    )
+    federation_run.add_argument(
+        "--seed", type=int, default=42,
+        help="scenario seed (default: 42)",
+    )
+    federation_run.add_argument(
+        "--out", default="-",
+        help="also write the full JSON report here ('-' to skip, default)",
+    )
+    federation_run.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: skip the N-scaling sweep, same gates",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="static determinism & Gao-Rexford policy-safety analysis",
@@ -785,6 +827,80 @@ def cmd_traffic_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federation_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .federation.experiment import run_federation_experiment
+
+    if args.edges < 3:
+        print(
+            f"tango-repro: --edges must be >= 3 (a relay needs a third "
+            f"member), got {args.edges}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = run_federation_experiment(
+        args.edges, seed=args.seed, smoke=args.smoke
+    )
+
+    cache = report["snapshot_cache"]
+    baseline = report["independent_baseline"]
+    print(
+        f"establishment: {report['established_pairs']}/{report['pairs']} "
+        f"pairs, shared cache hit rate {cache['hit_rate']:.2f} "
+        f"({cache['hits']} hits / {cache['misses']} misses), "
+        f"independent baseline {baseline['hit_rate']:.2f}"
+    )
+    degraded = report["degraded_pair"]
+    print(
+        f"stitched: {degraded['pair'][0]}->{degraded['pair'][1]} "
+        f"({degraded['direct_routes']} direct) now {degraded['usable_routes']} "
+        f"usable routes via relay {degraded['relay']} "
+        f"[{degraded['stitched_label']}]"
+    )
+    reroute = report["reroute"]
+    detected = (
+        f"+{reroute['delay_s']:.2f}s (cause={reroute['cause']})"
+        if reroute["detected_at"] is not None
+        else "NOT DETECTED"
+    )
+    print(
+        f"failover: relay killed at t={reroute['killed_at']:g} for "
+        f"{reroute['kill_duration_s']:g}s, quarantined {detected}, "
+        f"budget {reroute['budget_s']:.2f}s, "
+        f"restored={reroute['restored_after_clear']}"
+    )
+    print(f"{'n':>3} {'routes/pair':>12} {'mean gain ms':>13} {'hit rate':>9}")
+    for row in report["scaling"]:
+        print(
+            f"{row['n']:>3} {row['mean_routes_per_pair']:>12.1f} "
+            f"{row['mean_gain_ms']:>13.3f} {row['snapshot_hit_rate']:>9.2f}"
+        )
+
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+
+    failures = []
+    if report["established_pairs"] != report["pairs"]:
+        failures.append("establishment")
+    if cache["hit_rate"] < 0.5 or cache["hit_rate"] <= baseline["hit_rate"]:
+        failures.append("dedup")
+    if degraded["usable_routes"] < 2:
+        failures.append("stitched-rescue")
+    if not reroute["within_budget"]:
+        failures.append("reroute")
+    if failures:
+        print(
+            f"tango-repro: federation gate(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     import os
 
@@ -836,6 +952,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.faults_command == "campaign":
             return cmd_faults_campaign(args)
         raise AssertionError(f"unhandled faults command {args.faults_command!r}")
+    if args.command == "federation":
+        if args.federation_command == "run":
+            return cmd_federation_run(args)
+        raise AssertionError(
+            f"unhandled federation command {args.federation_command!r}"
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

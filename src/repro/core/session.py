@@ -60,15 +60,30 @@ class TelemetryMirror:
         source: MeasurementStore,
         sink: MeasurementStore,
         latency_s: float = 0.0,
+        path_ids: Optional[set[int]] = None,
     ) -> None:
+        """``path_ids`` restricts mirroring to those ids; ``None`` (the
+        default) mirrors every id in the source — the two-party case,
+        where source and sink belong to exactly one pairing.  A
+        federation scopes each session's mirror to its own tunnel ids so
+        N sessions sharing per-member stores do not cross-feed."""
         if latency_s < 0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")
         self.source = source
         self.sink = sink
         self.latency_s = latency_s
+        #: Mutable: the federation extends it when a stitched relay
+        #: tunnel joins a session after establishment.
+        self.path_ids = set(path_ids) if path_ids is not None else None
         self._copied: dict[int, int] = {}
         self.samples_mirrored = 0
         self.samples_discarded = 0
+
+    def _mirrored_ids(self) -> list[int]:
+        ids = self.source.path_ids()
+        if self.path_ids is None:
+            return ids
+        return [path_id for path_id in ids if path_id in self.path_ids]
 
     def discard_before(self, t: float) -> int:
         """Drop all not-yet-mirrored samples older than ``t`` — lost reports.
@@ -78,7 +93,7 @@ class TelemetryMirror:
         are not batched up and replayed.  Returns the number discarded.
         """
         discarded = 0
-        for path_id in self.source.path_ids():
+        for path_id in self._mirrored_ids():
             series = self.source.series(path_id)
             start = self._copied.get(path_id, 0)
             cut = int(np.searchsorted(series.times, t, side="left"))
@@ -96,7 +111,7 @@ class TelemetryMirror:
         """
         horizon = now - self.latency_s
         copied = 0
-        for path_id in self.source.path_ids():
+        for path_id in self._mirrored_ids():
             series = self.source.series(path_id)
             start = self._copied.get(path_id, 0)
             times = series.times
@@ -137,11 +152,21 @@ class TangoSession:
         srlg_tags: Optional[
             Mapping[str, Mapping[str, tuple[str, ...]]]
         ] = None,
+        snapshots: Optional[SnapshotCache] = None,
+        direction_base_a_to_b: int = DIRECTION_A_TO_B,
+        direction_base_b_to_a: int = DIRECTION_B_TO_A,
     ) -> None:
         """``srlg_tags`` maps sending-edge name -> path ``short_label``
         -> risk-group names; establishment stamps them (plus automatic
         ``transit:<AS>`` tags) onto that direction's tunnels.  Omit for
-        tag-free legacy behaviour."""
+        tag-free legacy behaviour.
+
+        ``snapshots`` injects a convergence cache shared beyond this
+        pairing (a federation dedupes discovery across N sessions this
+        way); ``None`` keeps the private two-party cache.  The direction
+        bases carve this pairing's slice of path-id space — a federation
+        assigns each pair a disjoint 128-id block so every session's
+        tunnels coexist in the members' shared gateways."""
         if gateway_a.config.name != pairing.a.name:
             raise ValueError("gateway_a does not match pairing.a")
         if gateway_b.config.name != pairing.b.name:
@@ -152,11 +177,13 @@ class TangoSession:
         self.gateway_b = gateway_b
         self.sim = sim
         self.srlg_tags = dict(srlg_tags) if srlg_tags else {}
+        self.direction_base_a_to_b = direction_base_a_to_b
+        self.direction_base_b_to_a = direction_base_b_to_a
         self.state: Optional[SessionState] = None
         #: Convergence snapshot cache shared by both directions'
         #: discoveries — each one's closing withdraw-and-reconverge
         #: restores the converged base state instead of re-propagating.
-        self.snapshots = SnapshotCache()
+        self.snapshots = snapshots if snapshots is not None else SnapshotCache()
         self._mirror_tasks = []
         #: edge name -> (mirror feeding that edge's outbound store, its task).
         self._mirrors_by_edge: dict[str, tuple[TelemetryMirror, object]] = {}
@@ -204,18 +231,38 @@ class TangoSession:
             discovery_ab.paths,
             local_route_prefixes=a.route_prefixes,
             remote_route_prefixes=b.route_prefixes,
-            direction_base=DIRECTION_A_TO_B,
+            direction_base=self.direction_base_a_to_b,
             srlg_tags=self.srlg_tags.get(a.name),
         )
         tunnels_ba = build_tunnels(
             discovery_ba.paths,
             local_route_prefixes=b.route_prefixes,
             remote_route_prefixes=a.route_prefixes,
-            direction_base=DIRECTION_B_TO_A,
+            direction_base=self.direction_base_b_to_a,
             srlg_tags=self.srlg_tags.get(b.name),
         )
-        self.gateway_a.install_tunnels(b.host_prefix, tunnels_ab)
-        self.gateway_b.install_tunnels(a.host_prefix, tunnels_ba)
+        return self.install_established(
+            discovery_ab, discovery_ba, tunnels_ab, tunnels_ba
+        )
+
+    def install_established(
+        self,
+        discovery_ab: DiscoveryResult,
+        discovery_ba: DiscoveryResult,
+        tunnels_ab: list[TangoTunnel],
+        tunnels_ba: list[TangoTunnel],
+    ) -> SessionState:
+        """Adopt externally-produced establishment results.
+
+        The federation registry drives the BGP phases itself (batched
+        across all pairs so the shared snapshot cache dedupes announcer
+        states); each session then installs the resulting tunnels and
+        reaches the established state without re-running any control-
+        plane work.  :meth:`establish` funnels through here too, so the
+        two entry points cannot drift.
+        """
+        self.gateway_a.install_tunnels(self.pairing.b.host_prefix, tunnels_ab)
+        self.gateway_b.install_tunnels(self.pairing.a.host_prefix, tunnels_ba)
         self.state = SessionState(
             discovery_a_to_b=discovery_ab,
             discovery_b_to_a=discovery_ba,
@@ -237,7 +284,9 @@ class TangoSession:
 
     # -- telemetry feedback ----------------------------------------------------------
 
-    def start_telemetry_mirrors(self) -> tuple[TelemetryMirror, TelemetryMirror]:
+    def start_telemetry_mirrors(
+        self, scoped: bool = False
+    ) -> tuple[TelemetryMirror, TelemetryMirror]:
         """Begin the cooperative measurement feedback loop.
 
         Mirror latency is the report interval (piggyback freshness); the
@@ -245,17 +294,36 @@ class TangoSession:
         paper's parameters.  This is the idealized lossless feed; see
         :meth:`start_reliable_telemetry` for the transport that can
         actually lose, delay, reorder and duplicate reports.
+
+        ``scoped=True`` restricts each mirror to this session's own
+        tunnel path-ids (requires an established state) — mandatory when
+        the gateways' stores are shared across a federation's sessions,
+        harmless for a lone pairing.
         """
+        path_ids_to_a: Optional[set[int]] = None
+        path_ids_to_b: Optional[set[int]] = None
+        if scoped:
+            if self.state is None:
+                raise RuntimeError(
+                    "scoped mirrors need an established session "
+                    "(tunnel ids define the scope)"
+                )
+            # The mirror feeding A reflects what B *received*: the a->b
+            # direction's ids.  Symmetrically for B.
+            path_ids_to_a = {t.path_id for t in self.state.tunnels_a_to_b}
+            path_ids_to_b = {t.path_id for t in self.state.tunnels_b_to_a}
         latency = self.pairing.report_interval_s
         mirror_to_a = TelemetryMirror(
             source=self.gateway_b.inbound,
             sink=self.gateway_a.outbound,
             latency_s=latency,
+            path_ids=path_ids_to_a,
         )
         mirror_to_b = TelemetryMirror(
             source=self.gateway_a.inbound,
             sink=self.gateway_b.outbound,
             latency_s=latency,
+            path_ids=path_ids_to_b,
         )
         interval = self.pairing.report_interval_s
         task_a = self.sim.call_every(
@@ -349,9 +417,14 @@ class TangoSession:
             ) from None
 
     def stop(self) -> None:
-        """Stop mirror tasks (teardown)."""
-        for task in self._mirror_tasks:
+        """Stop mirror tasks (teardown).
+
+        Idempotent: registry teardown stops every session defensively —
+        including ones a caller already stopped by hand — so repeat
+        calls (and calls on a never-started session) are no-ops.
+        """
+        tasks, self._mirror_tasks = self._mirror_tasks, []
+        for task in tasks:
             task.stop()
-        self._mirror_tasks.clear()
         self._mirrors_by_edge.clear()
         self._channels_by_edge.clear()

@@ -474,6 +474,39 @@ class FaultInjector:
         sim.schedule_at(event.at, onset)
         sim.schedule_at(event.end, clear)
 
+    def _arm_relay_outage(self, event: FaultEvent, index: int) -> None:
+        """Federation-scale shared fate: one member edge goes dark.
+
+        Every WAN link touching the member blackholes for the window —
+        its own direct traffic dies *and* any stitched relay tunnel
+        transiting it loses a segment, which is the failure mode E20's
+        fast-reroute gate measures.  The member's ``member:<name>`` fate
+        tag is down-marked for the window so SRLG-aware selection and
+        quarantine probation see the shared cause.  No BGP state is
+        touched: the edge's control plane is assumed to die with its
+        data plane only in ``regional_outage``; a relay outage models a
+        site-level forwarding loss (power, upstream cut) where paths
+        stay advertised but dark — the harder case for detection.
+        """
+        deployment = self.deployment
+        member_links = getattr(deployment, "member_links", None)
+        if member_links is None:
+            raise ValueError(
+                "relay_outage requires a federation deployment exposing "
+                "member_links(); two-party deployments have no members"
+            )
+        sim = deployment.sim
+        registry = deployment.srlg
+        member = str(event.params["member"])
+        links = member_links(member)
+        if not links:
+            raise ValueError(f"member {member!r} has no WAN links to fail")
+        for link in links:
+            link.loss = OverrideLoss.blackhole(link.loss, event.at, event.end)
+        group = f"member:{member}"
+        sim.schedule_at(event.at, lambda: registry.mark_down(group))
+        sim.schedule_at(event.end, lambda: registry.clear_down(group))
+
     def _arm_maintenance_window(self, event: FaultEvent, index: int) -> None:
         """Scheduled maintenance: drain-then-fail on one risk group.
 

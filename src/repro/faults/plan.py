@@ -37,6 +37,9 @@ _REQUIRED_PARAMS: dict[str, tuple[str, ...]] = {
     "srlg_failure": ("group",),
     "regional_outage": ("region",),
     "maintenance_window": ("group",),
+    # Federation kind: a whole member edge goes dark, including any
+    # stitched relay tunnels transiting it.
+    "relay_outage": ("member",),
 }
 
 FAULT_KINDS = frozenset(_REQUIRED_PARAMS)
@@ -60,6 +63,7 @@ _NEEDS_DURATION = frozenset(
         "srlg_failure",
         "regional_outage",
         "maintenance_window",
+        "relay_outage",
     }
 )
 
@@ -135,6 +139,8 @@ class FaultEvent:
             return f"group:{p['group']}"
         if "region" in p:
             return f"region:{p['region']}"
+        if "member" in p:
+            return f"member:{p['member']}"
         return str(p.get("edge", "?"))
 
     def as_dict(self) -> dict[str, Any]:

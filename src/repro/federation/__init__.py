@@ -1,0 +1,35 @@
+"""Multi-edge Tango federation: a live N-site session registry.
+
+The paper pairs *two* edges; this package scales the cooperative
+machinery to N cooperating sites in one process.  The
+:class:`~repro.federation.registry.FederationRegistry` owns every
+pairwise session over one shared BGP network (deduplicating convergence
+through one :class:`~repro.bgp.snapshot.SnapshotCache`), runs every
+controller and rebalancer off one shared tick wheel, and — when a pair
+lacks usable direct diversity — composes **stitched transit tunnels**
+through intermediate members, with per-segment telemetry folded into
+end-to-end estimates via the multi-PoP clock-offset model.
+"""
+
+from .registry import (
+    FederationRegistry,
+    FederationState,
+    PairView,
+    StitchResult,
+)
+from .segments import Segment, SegmentComposer, compose_delay, compose_loss
+from .stitching import RelayPlan, StitchedWanLink, build_stitched_tunnel
+
+__all__ = [
+    "FederationRegistry",
+    "FederationState",
+    "PairView",
+    "StitchResult",
+    "Segment",
+    "SegmentComposer",
+    "compose_delay",
+    "compose_loss",
+    "RelayPlan",
+    "StitchedWanLink",
+    "build_stitched_tunnel",
+]

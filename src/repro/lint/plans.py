@@ -296,6 +296,14 @@ def check_fault_plan(
                         f"maintenance_window drain_s {drain:g} must satisfy "
                         f"0 <= drain_s < duration ({event.duration:g})",
                     )
+        if event.kind == "relay_outage":
+            member = str(params["member"])
+            if member not in spec.edges:
+                bad(
+                    index,
+                    f"unknown federation member {member!r}; scenario "
+                    f"{spec.name!r} declares {sorted(spec.edges)}",
+                )
         if event.kind == "regional_outage":
             region = str(params["region"])
             if region not in spec.regions:

@@ -14,21 +14,27 @@ Two generators:
 
 from __future__ import annotations
 
+import ipaddress
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from ..bgp.network import BgpNetwork
 from ..bgp.router import BgpRouter
 from ..bgp.snapshot import SnapshotCache
-from ..core.discovery import DiscoveryResult, PathDiscovery, asn_label
+from ..core.config import EdgeConfig
+from ..core.discovery import DiscoveredPath, DiscoveryResult, PathDiscovery, asn_label
 from ..core.mesh import TangoMesh
 from ..netsim.delaymodels import ConstantDelay, GaussianJitterDelay
 from ..netsim.topology import Network
+from .vultr import PathCalibration
 
 __all__ = [
     "MeshScenario",
     "build_mesh_scenario",
+    "LiveFederationScenario",
+    "build_live_federation",
     "EcmpFanout",
     "build_ecmp_fanout",
 ]
@@ -170,6 +176,209 @@ def build_mesh_scenario(
         discoveries=discoveries,
         mesh=mesh,
         path_srlgs=path_srlgs,
+    )
+
+
+@dataclass
+class LiveFederationScenario:
+    """Substrate for a *live* N-edge federation (E20).
+
+    Unlike :class:`MeshScenario` — an analytical artifact with discovery
+    pre-run and delays baked into a :class:`TangoMesh` — this carries
+    everything a :class:`~repro.federation.registry.FederationRegistry`
+    needs to run establishment itself over one shared
+    :class:`BgpNetwork`: full per-member address plans (host prefix plus
+    per-peer route-prefix slices), canonical probe prefixes, and a
+    deterministic calibration for every (pair, path) the registry will
+    discover.
+
+    The address plan partitions each member's route prefixes into
+    per-peer *slices*: one member's prefix can carry only one community
+    set at a time, so each pair pins into its own disjoint slice and
+    every pairing stays a standard two-party Tango session.
+    """
+
+    bgp: BgpNetwork
+    members: list[EdgeConfig]
+    member_transits: dict[str, list[int]]
+    probe_prefixes: dict[str, str]
+    prefixes_per_peer: int
+    #: Sorted-name pair -> pseudo-geographic distance (one-way ms).
+    pair_distance_ms: dict[tuple[str, str], float]
+    #: The deliberately fate-shared pair (both single-homed to one
+    #: transit), or None when the knob is off.
+    degraded_pair: Optional[tuple[str, str]]
+    seed: int
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def member_names(self) -> list[str]:
+        return [m.name for m in self.members]
+
+    def member(self, name: str) -> EdgeConfig:
+        for config in self.members:
+            if config.name == name:
+                return config
+        raise KeyError(f"no federation member {name!r}")
+
+    def member_index(self, name: str) -> int:
+        for index, config in enumerate(self.members):
+            if config.name == name:
+                return index
+        raise KeyError(f"no federation member {name!r}")
+
+    def peer_slice(self, member: str, peer: str) -> EdgeConfig:
+        """``member``'s config restricted to its route slice for ``peer``.
+
+        Same identity (name, routers, ASNs, host prefix) — only
+        ``route_prefixes`` narrows, so the sliced view drops into
+        :class:`~repro.core.session.TangoSession` unchanged while pin
+        announcements from different pairs can never collide.
+        """
+        config = self.member(member)
+        k, j = self.member_index(member), self.member_index(peer)
+        if k == j:
+            raise ValueError(f"{member!r} cannot peer with itself")
+        position = j if j < k else j - 1
+        start = position * self.prefixes_per_peer
+        return EdgeConfig(
+            name=config.name,
+            tenant_router=config.tenant_router,
+            tenant_asn=config.tenant_asn,
+            provider_router=config.provider_router,
+            provider_asn=config.provider_asn,
+            host_prefix=config.host_prefix,
+            route_prefixes=config.route_prefixes[
+                start : start + self.prefixes_per_peer
+            ],
+            clock_offset_s=config.clock_offset_s,
+        )
+
+    def path_delay_ms(self, src: str, dst: str, path: DiscoveredPath) -> float:
+        """Deterministic base one-way delay for one discovered path."""
+        pair = (src, dst) if src < dst else (dst, src)
+        distance = self.pair_distance_ms[pair]
+        speed = float(
+            np.mean([_TRANSIT_SPEED.get(a, 1.3) for a in path.transit_asns])
+            if path.transit_asns
+            else 1.0
+        )
+        hop_tax = 1.0 + 0.06 * max(len(path.transit_asns) - 1, 0)
+        return distance * speed * hop_tax
+
+    def calibration(
+        self, src: str, dst: str, path: DiscoveredPath, label: str
+    ) -> PathCalibration:
+        """Delay-process calibration for the ``src``→``dst`` path."""
+        k, j = self.member_index(src), self.member_index(dst)
+        return PathCalibration(
+            label=label,
+            base_ms=self.path_delay_ms(src, dst, path),
+            sigma_ms=0.05,
+            seed=self.seed * 10007 + k * 512 + j * 32 + path.index,
+        )
+
+
+def build_live_federation(
+    n_edges: int,
+    prefixes_per_peer: int = 4,
+    providers_per_edge: int = 2,
+    seed: int = 42,
+    degraded_pair: bool = True,
+) -> LiveFederationScenario:
+    """Build the substrate for a live N-edge federation.
+
+    Same transit core and provider rotation as :func:`build_mesh_scenario`
+    — the analytical and live generators stay comparable — plus full
+    address plans.  With ``degraded_pair=True`` (and ≥ 3 members) the
+    first two members are single-homed to the *same* transit, so their
+    direct connectivity collapses to one fate-shared path: the pair the
+    E20 experiment heals with a stitched relay tunnel.
+    """
+    if n_edges < 2:
+        raise ValueError(f"need at least 2 edges, got {n_edges}")
+    if not 1 <= providers_per_edge <= len(_TRANSIT_ASNS):
+        raise ValueError(
+            f"providers_per_edge must be in 1..{len(_TRANSIT_ASNS)}"
+        )
+    if prefixes_per_peer < 1:
+        raise ValueError("prefixes_per_peer must be >= 1")
+    rng = np.random.default_rng(seed)
+    bgp = BgpNetwork()
+    for asn in _TRANSIT_ASNS:
+        bgp.add_router(BgpRouter(f"transit-{asn}", asn))
+    for i, a in enumerate(_TRANSIT_ASNS):
+        for b in _TRANSIT_ASNS[i + 1 :]:
+            bgp.add_peering(f"transit-{a}", f"transit-{b}")
+
+    degrade = degraded_pair and n_edges >= 3
+    members: list[EdgeConfig] = []
+    member_transits: dict[str, list[int]] = {}
+    probe_prefixes: dict[str, str] = {}
+    slices = max(n_edges - 1, 1) * prefixes_per_peer
+    for index in range(n_edges):
+        edge = f"edge{index}"
+        provider = f"provider-{index}"
+        bgp.add_router(
+            BgpRouter(provider, _PROVIDER_BASE_ASN + index, allowas_in=True)
+        )
+        bgp.add_router(BgpRouter(edge, _EDGE_BASE_ASN + index))
+        bgp.add_provider(edge, provider)
+        if degrade and index in (0, 1):
+            # Both fate-shared members buy from the one same transit.
+            chosen = [_TRANSIT_ASNS[0]]
+        else:
+            start = index % len(_TRANSIT_ASNS)
+            chosen = [
+                _TRANSIT_ASNS[(start + k) % len(_TRANSIT_ASNS)]
+                for k in range(providers_per_edge)
+            ]
+        for preference, transit in enumerate(chosen, start=1):
+            bgp.add_provider(
+                provider, f"transit-{transit}", customer_preference=preference
+            )
+        members.append(
+            EdgeConfig(
+                name=edge,
+                tenant_router=edge,
+                tenant_asn=_EDGE_BASE_ASN + index,
+                provider_router=provider,
+                provider_asn=_PROVIDER_BASE_ASN + index,
+                host_prefix=ipaddress.IPv6Network(
+                    f"2001:db8:{0x1000 + index:x}::/48"
+                ),
+                route_prefixes=tuple(
+                    ipaddress.IPv6Network(
+                        f"2001:db8:{0x2000 + index * 0x100 + m:x}::/48"
+                    )
+                    for m in range(slices)
+                ),
+                clock_offset_s=((index * 37) % 23 - 11) * 1e-3,
+            )
+        )
+        member_transits[edge] = chosen
+        probe_prefixes[edge] = f"2001:db8:{0xF000 + index:x}::/48"
+
+    # Distances in one fixed double loop so the rng consumption order —
+    # and with it every delay in the federation — is seed-determined.
+    pair_distance_ms: dict[tuple[str, str], float] = {}
+    for i in range(n_edges):
+        for j in range(i + 1, n_edges):
+            pair_distance_ms[(f"edge{i}", f"edge{j}")] = _pair_distance(
+                i, j, n_edges, rng
+            )
+    return LiveFederationScenario(
+        bgp=bgp,
+        members=members,
+        member_transits=member_transits,
+        probe_prefixes=probe_prefixes,
+        prefixes_per_peer=prefixes_per_peer,
+        pair_distance_ms=pair_distance_ms,
+        degraded_pair=("edge0", "edge1") if degrade else None,
+        seed=seed,
     )
 
 

@@ -185,3 +185,15 @@ class TestMirrorRegistry:
         d.session.stop()
         with pytest.raises(KeyError):
             d.session.mirror_to("ny")
+
+    def test_stop_is_idempotent(self):
+        """Registry teardown stops sessions defensively: repeat stops
+        (and stops on a never-started session) must be no-ops."""
+        d = VultrDeployment(include_events=False)
+        d.establish()
+        d.session.start_telemetry_mirrors()
+        d.session.stop()
+        d.session.stop()  # second stop: nothing left, must not raise
+        fresh = VultrDeployment(include_events=False)
+        fresh.establish()
+        fresh.session.stop()  # never started mirrors: also a no-op

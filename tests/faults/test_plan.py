@@ -25,7 +25,8 @@ class TestFaultEvent:
         assert "srlg_failure" in FAULT_KINDS
         assert "regional_outage" in FAULT_KINDS
         assert "maintenance_window" in FAULT_KINDS
-        assert len(FAULT_KINDS) == 18
+        assert "relay_outage" in FAULT_KINDS
+        assert len(FAULT_KINDS) == 19
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown fault kind"):

@@ -206,3 +206,48 @@ class TestTraffic:
         monkeypatch.chdir(tmp_path)
         assert main(["traffic", "run", "--smoke", "--out", "-"]) == 0
         assert not (tmp_path / "BENCH_TRAFFIC.json").exists()
+
+
+class TestFederation:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["federation", "run"])
+        assert args.federation_command == "run"
+        assert args.edges == 8
+        assert args.seed == 42
+        assert args.out == "-"
+        assert not args.smoke
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["federation"])
+
+    def test_too_few_edges_is_usage_error(self, capsys):
+        assert main(["federation", "run", "--edges", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--edges must be >= 3" in err
+
+    def test_smoke_run_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fed.json"
+        code = main(
+            [
+                "federation",
+                "run",
+                "--edges",
+                "3",
+                "--smoke",
+                "--out",
+                str(out),
+            ]
+        )
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "shared cache hit rate" in printed
+        assert "usable routes via relay" in printed
+        assert f"wrote {out}" in printed
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schema"] == "tango-repro/e20-federation/v1"
+        assert payload["established_pairs"] == payload["pairs"] == 3
+        assert payload["degraded_pair"]["usable_routes"] >= 2
+        assert payload["reroute"]["within_budget"] is True
